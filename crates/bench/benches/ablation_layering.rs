@@ -1,0 +1,65 @@
+//! **Ablation: specialized vs. layered protocols** (§2.3.3 fn: "because
+//! multilayered support and error handling, such as suggested by the ISO
+//! standard, is not present, much higher performance has been achieved").
+//!
+//! The same open+read+close sequence under the specialized-protocol
+//! latency model vs. an ISO-style layered stack (5x per-message
+//! processing), reported in simulated time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus::{Cluster, OpenMode, SiteId};
+use locus_bench::timed;
+use locus_net::LatencyModel;
+
+fn run_cycle(cluster: &Cluster, p: locus::Pid) {
+    let fd = cluster.open(p, "/f", OpenMode::Read).unwrap();
+    let _ = cluster.read(p, fd, 2048).unwrap();
+    cluster.close(p, fd).unwrap();
+}
+
+fn make(latency: LatencyModel) -> (Cluster, locus::Pid) {
+    let c = Cluster::builder()
+        .vax_sites(2)
+        .filegroup("root", &[0])
+        .latency(latency)
+        .build();
+    let seeder = c.login(SiteId(0), 1).expect("login");
+    c.write_file(seeder, "/f", &vec![1u8; 2048]).expect("seed");
+    let p = c.login(SiteId(1), 1).expect("login remote");
+    (c, p)
+}
+
+fn bench(c: &mut Criterion) {
+    let (fast, pf) = make(LatencyModel::ethernet_1983());
+    let (slow, ps) = make(LatencyModel::layered_stack());
+
+    let mut g = c.benchmark_group("remote_open_read_close");
+    g.bench_function("specialized_protocols", |b| b.iter(|| run_cycle(&fast, pf)));
+    g.bench_function("iso_layered_stack", |b| b.iter(|| run_cycle(&slow, ps)));
+    g.finish();
+
+    let (_, t_fast) = timed(&fast, || {
+        for _ in 0..50 {
+            run_cycle(&fast, pf)
+        }
+    });
+    let (_, t_slow) = timed(&slow, || {
+        for _ in 0..50 {
+            run_cycle(&slow, ps)
+        }
+    });
+    eprintln!("\nablation (simulated, 50 remote open+read+close):");
+    eprintln!("  specialized : {t_fast}");
+    eprintln!("  layered     : {t_slow}");
+    eprintln!(
+        "  layering penalty: {:.2}x",
+        t_slow.as_micros() as f64 / t_fast.as_micros() as f64
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! **Ablation: shadow-page commit workload sensitivity** (§2.3.6: "LOCUS
+//! uses a shadow page mechanism, partly because Unix file modifications
+//! tend to overwrite entire files").
+//!
+//! Whole-file overwrite (shadow's best case: no old-page reads) vs.
+//! scattered small in-place updates (shadow's worst case: read-modify-
+//! write per page), on the raw storage substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus_storage::{DiskInode, Pack, ShadowSession, PAGE_SIZE};
+use locus_types::{FileType, FilegroupId, Ino, PackId, Perms};
+
+const NPAGES: usize = 8;
+
+fn make() -> (Pack, Ino) {
+    let mut pack = Pack::new(PackId::new(FilegroupId(0), 0), 1..64, 4096);
+    let ino = pack.alloc_ino().unwrap();
+    pack.install_inode(
+        ino,
+        DiskInode::new(FileType::Untyped, Perms::FILE_DEFAULT, 0),
+    );
+    pack.write_all(ino, &vec![1u8; NPAGES * PAGE_SIZE]).unwrap();
+    pack.take_io_cost();
+    (pack, ino)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shadow_commit");
+    g.bench_function("whole_file_overwrite", |b| {
+        let (mut pack, ino) = make();
+        let new = vec![2u8; NPAGES * PAGE_SIZE];
+        b.iter(|| {
+            let mut s = ShadowSession::begin(&pack, ino).unwrap();
+            for lpn in 0..NPAGES {
+                s.write_page(&mut pack, lpn, &new[lpn * PAGE_SIZE..(lpn + 1) * PAGE_SIZE])
+                    .unwrap();
+            }
+            let vv = s.working().vv.clone();
+            s.commit(&mut pack, vv).unwrap();
+            pack.take_io_cost();
+        })
+    });
+    g.bench_function("scattered_small_updates", |b| {
+        let (mut pack, ino) = make();
+        b.iter(|| {
+            let mut s = ShadowSession::begin(&pack, ino).unwrap();
+            for lpn in (0..NPAGES).step_by(2) {
+                // Read-modify-write: the §2.3.5 partial-page path.
+                let mut page = s.read_page(&mut pack, lpn).unwrap();
+                page[7] ^= 0xFF;
+                s.write_page(&mut pack, lpn, &page).unwrap();
+            }
+            let vv = s.working().vv.clone();
+            s.commit(&mut pack, vv).unwrap();
+            pack.take_io_cost();
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! **E1 (wall-clock)** — Criterion bench of the simulated kernel paths:
+//! local vs. remote open/read. The *simulated-time* version of this
+//! experiment is `bin/e1_access_cost`; this measures the reproduction
+//! itself (throughput of the simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus::{OpenMode, SiteId};
+use locus_bench::standard_cluster;
+use locus_fs::ops::{io, namei, open};
+use locus_types::MachineType;
+
+fn bench(c: &mut Criterion) {
+    let cluster = standard_cluster(3, &[0]);
+    let p = cluster.login(SiteId(0), 1).expect("login");
+    cluster
+        .write_file(p, "/bench", &vec![7u8; 2048])
+        .expect("seed");
+    cluster.settle();
+    let ctx = locus_fs::ProcFsCtx::new(
+        cluster.fs().kernel(SiteId(0)).mount.root().unwrap(),
+        MachineType::Vax,
+    );
+    let gfid = namei::resolve(cluster.fs(), SiteId(0), &ctx, "/bench").expect("resolve");
+
+    let mut g = c.benchmark_group("open_close");
+    g.bench_function("local", |b| {
+        b.iter(|| {
+            let t = open::open_gfid(cluster.fs(), SiteId(0), gfid, OpenMode::Read).unwrap();
+            open::close_ticket(cluster.fs(), SiteId(0), &t).unwrap();
+        })
+    });
+    g.bench_function("remote", |b| {
+        b.iter(|| {
+            let t = open::open_gfid(cluster.fs(), SiteId(2), gfid, OpenMode::Read).unwrap();
+            open::close_ticket(cluster.fs(), SiteId(2), &t).unwrap();
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("page_read");
+    let t_local = open::open_gfid(cluster.fs(), SiteId(0), gfid, OpenMode::Read).unwrap();
+    g.bench_function("local_warm", |b| {
+        b.iter(|| io::get_page(cluster.fs(), SiteId(0), gfid, t_local.ss, 0, 1).unwrap())
+    });
+    let t_remote = open::open_gfid(cluster.fs(), SiteId(2), gfid, OpenMode::Read).unwrap();
+    g.bench_function("remote_uncached", |b| {
+        b.iter(|| {
+            cluster
+                .fs()
+                .with_kernel(SiteId(2), |k| k.invalidate_caches_for(gfid));
+            io::get_page(cluster.fs(), SiteId(2), gfid, t_remote.ss, 0, 1).unwrap()
+        })
+    });
+    g.finish();
+    open::close_ticket(cluster.fs(), SiteId(0), &t_local).unwrap();
+    open::close_ticket(cluster.fs(), SiteId(2), &t_remote).unwrap();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! **E2** — "when resources are local, access is no more expensive than
+//! on a conventional Unix system" (§2.1, §6). Compares the LOCUS local
+//! path against the `unixfs` single-machine baseline in *simulated* time
+//! (reported once at the end) and wall-clock time (Criterion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus::{OpenMode, SiteId};
+use locus_bench::unixfs::UnixFs;
+use locus_bench::{standard_cluster, timed};
+
+fn bench(c: &mut Criterion) {
+    // Single-site LOCUS: everything is local.
+    let cluster = standard_cluster(1, &[0]);
+    let p = cluster.login(SiteId(0), 1).expect("login");
+    cluster.write_file(p, "/f", &vec![9u8; 2048]).expect("seed");
+
+    let mut unix = UnixFs::new();
+    let uino = unix.creat("f").expect("creat");
+    unix.write_all(uino, &vec![9u8; 2048]).expect("seed");
+
+    let mut g = c.benchmark_group("local_read_2k");
+    g.bench_function("locus", |b| {
+        b.iter(|| {
+            let fd = cluster.open(p, "/f", OpenMode::Read).unwrap();
+            let data = cluster.read(p, fd, 4096).unwrap();
+            cluster.close(p, fd).unwrap();
+            data.len()
+        })
+    });
+    g.bench_function("conventional_unix", |b| {
+        b.iter(|| {
+            let ino = unix.open("f").unwrap();
+            unix.read_all(ino).unwrap().len()
+        })
+    });
+    g.finish();
+
+    // Simulated-time comparison (the paper's actual claim).
+    let (_, t_locus) = timed(&cluster, || {
+        for _ in 0..100 {
+            let fd = cluster.open(p, "/f", OpenMode::Read).unwrap();
+            let _ = cluster.read(p, fd, 4096).unwrap();
+            cluster.close(p, fd).unwrap();
+        }
+    });
+    let u0 = unix.now();
+    for _ in 0..100 {
+        let ino = unix.open("f").unwrap();
+        let _ = unix.read_all(ino).unwrap();
+    }
+    let t_unix = unix.now() - u0;
+    eprintln!("\nE2 simulated time, 100 x (open+read 2KiB+close), all local:");
+    eprintln!("  LOCUS local       : {t_locus}");
+    eprintln!("  conventional Unix : {t_unix}");
+    eprintln!(
+        "  ratio             : {:.2} (paper: \"no more expensive\", ~1.0)",
+        t_locus.as_micros() as f64 / t_unix.as_micros() as f64
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Reconfiguration cost vs. network size: the full partition + merge +
+//! cleanup + recovery cycle (§5.3–§5.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use locus::{Cluster, SiteId};
+use locus_bench::timed;
+
+fn make(n: usize) -> Cluster {
+    let containers: Vec<u32> = vec![0, 1];
+    let c = Cluster::builder()
+        .vax_sites(n)
+        .filegroup("root", &containers)
+        .build();
+    let p = c.login(SiteId(0), 1).expect("login");
+    c.write_file(p, "/state", b"shared state").expect("seed");
+    c.settle();
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_merge_cycle");
+    for n in [4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cluster = make(n);
+            b.iter(|| {
+                let half: Vec<SiteId> = (0..n as u32 / 2).map(SiteId).collect();
+                let rest: Vec<SiteId> = (n as u32 / 2..n as u32).map(SiteId).collect();
+                cluster.partition(&[half, rest]);
+                cluster.reconfigure().unwrap();
+                cluster.heal();
+                cluster.reconfigure().unwrap();
+            })
+        });
+    }
+    g.finish();
+
+    // Simulated-time report for EXPERIMENTS.md.
+    for n in [4usize, 8, 16] {
+        let cluster = make(n);
+        let (_, dt) = timed(&cluster, || {
+            let half: Vec<SiteId> = (0..n as u32 / 2).map(SiteId).collect();
+            let rest: Vec<SiteId> = (n as u32 / 2..n as u32).map(SiteId).collect();
+            cluster.partition(&[half, rest]);
+            cluster.reconfigure().unwrap();
+            cluster.heal();
+            cluster.reconfigure().unwrap();
+        });
+        eprintln!("reconfig cycle, {n} sites: {dt} simulated");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

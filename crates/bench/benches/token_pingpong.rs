@@ -1,0 +1,74 @@
+//! **E9** — shared-descriptor offset tokens (§3.2): "in the worst case,
+//! performance is limited by the speed at which the tokens … can be
+//! flipped back and forth among processes on different machines, [but]
+//! such extreme behavior is exceedingly rare."
+//!
+//! Measures the worst case (strictly alternating readers on two sites)
+//! against the common case (each site reads a batch before the other
+//! touches the descriptor).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locus::{OpenMode, SiteId};
+use locus_bench::standard_cluster;
+
+fn bench(c: &mut Criterion) {
+    let cluster = standard_cluster(3, &[0, 1]);
+    let parent = cluster.login(SiteId(0), 1).expect("login");
+    cluster
+        .write_file(parent, "/tok", &vec![3u8; 64 * 1024])
+        .expect("seed");
+    cluster.settle();
+    let fd = cluster.open(parent, "/tok", OpenMode::Read).expect("open");
+    let child = cluster.fork(parent, Some(SiteId(2))).expect("remote fork");
+
+    let mut g = c.benchmark_group("shared_fd");
+    g.bench_function("pingpong_worst_case", |b| {
+        b.iter(|| {
+            cluster.lseek(parent, fd, 0).unwrap();
+            for _ in 0..8 {
+                let _ = cluster.read(parent, fd, 64).unwrap();
+                let _ = cluster.read(child, fd, 64).unwrap();
+            }
+        })
+    });
+    g.bench_function("batched_common_case", |b| {
+        b.iter(|| {
+            cluster.lseek(parent, fd, 0).unwrap();
+            for _ in 0..8 {
+                let _ = cluster.read(parent, fd, 64).unwrap();
+            }
+            for _ in 0..8 {
+                let _ = cluster.read(child, fd, 64).unwrap();
+            }
+        })
+    });
+    g.finish();
+
+    // Message-count comparison, printed once.
+    cluster.lseek(parent, fd, 0).unwrap();
+    cluster.net().reset_stats();
+    for _ in 0..8 {
+        let _ = cluster.read(parent, fd, 64).unwrap();
+        let _ = cluster.read(child, fd, 64).unwrap();
+    }
+    let ping =
+        cluster.net().stats().sends("TOKEN acquire") + cluster.net().stats().sends("TOKEN recall");
+    cluster.lseek(parent, fd, 0).unwrap();
+    cluster.net().reset_stats();
+    for _ in 0..8 {
+        let _ = cluster.read(parent, fd, 64).unwrap();
+    }
+    for _ in 0..8 {
+        let _ = cluster.read(child, fd, 64).unwrap();
+    }
+    let batched =
+        cluster.net().stats().sends("TOKEN acquire") + cluster.net().stats().sends("TOKEN recall");
+    eprintln!("\nE9 token messages over 16 reads: pingpong={ping}, batched={batched}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **E11** — the UCLA "beta net" workload (§6: "5 machines operational
+//! with about 30-40 users … it is clearly feasible to provide high
+//! performance, transparent distributed system behavior").
+//!
+//! Replays a seeded 35-user read-mostly workload on a 5-site network
+//! with the root filegroup replicated on two sites, and reports
+//! throughput, the local-service ratio (how often the open was satisfied
+//! without leaving the using site — the transparency dividend of
+//! replication), and per-class message costs.
+//!
+//! Run with `cargo run -p locus-bench --bin e11_beta_net`.
+
+use locus_bench::workload::{generate, replay, setup_users};
+use locus_bench::{standard_cluster, timed};
+
+fn main() {
+    const USERS: usize = 35;
+    const FILES: usize = 60;
+    const OPS: usize = 1500;
+
+    for (label, containers) in [
+        ("no replication (1 container)", vec![0u32]),
+        ("paper-like (2 containers)", vec![0, 1]),
+        ("high replication (4 containers)", vec![0, 1, 2, 3]),
+    ] {
+        let cluster = standard_cluster(5, &containers);
+        let users = setup_users(&cluster, USERS);
+        let w = generate(1983, USERS, FILES, OPS);
+        cluster.net().reset_stats();
+        let (stats, t_replay) = timed(&cluster, || replay(&cluster, &users, &w));
+        let foreground = cluster.net().stats();
+        let (_, t_prop) = timed(&cluster, || cluster.settle());
+        let elapsed = t_replay + t_prop;
+        let net = cluster.net().stats();
+        let remote_reads = foreground.sends("READ req");
+        let prop_reads = net.sends("READ req") - remote_reads;
+        let total_kb = (stats.bytes_read + stats.bytes_written) / 1024;
+        println!("=== {label} ===");
+        println!(
+            "  ops completed      : {} ({} failed)",
+            stats.completed, stats.failed
+        );
+        println!("  data moved         : {total_kb} KiB");
+        println!("  simulated elapsed  : {elapsed}");
+        println!(
+            "  ops/simulated-sec  : {:.1}",
+            stats.completed as f64 / (elapsed.as_micros() as f64 / 1e6)
+        );
+        let served = stats.local_serves + stats.remote_serves;
+        println!(
+            "  locally served read: {:.1}% ({} of {} opens)",
+            100.0 * stats.local_serves as f64 / served.max(1) as f64,
+            stats.local_serves,
+            served
+        );
+        println!("  remote page reads  : {remote_reads} (plus {prop_reads} late pulls)");
+        println!("  propagation time   : {t_prop} (background)");
+        println!(
+            "  total messages     : {} ({} KiB on the wire)",
+            net.total_sends(),
+            net.total_bytes() / 1024
+        );
+        println!();
+    }
+    println!("paper: \"no one typically thinks much about resource location");
+    println!("because of performance reasons\" — replication converts remote");
+    println!("page traffic into local hits at the cost of propagation writes.");
+}

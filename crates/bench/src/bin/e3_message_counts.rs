@@ -1,0 +1,107 @@
+//! **E3** — protocol message counts per operation, against the counts the
+//! paper states in §2.3.3–§2.3.6: read page = 2, write page = 1 (low-level
+//! ack only), general open = 4, general close = 4, commit notification
+//! fan-out = containers − 1.
+//!
+//! Run with `cargo run -p locus-bench --bin e3_message_counts`.
+
+use locus::{OpenMode, SiteId};
+use locus_bench::standard_cluster;
+use locus_fs::ops::{commit, io, namei, open};
+use locus_types::MachineType;
+
+fn main() {
+    // Three containers so the commit fan-out is visible; diskless site 3.
+    let cluster = standard_cluster(4, &[0, 1, 2]);
+    let us = SiteId(3);
+    let p = cluster.login(SiteId(0), 1).expect("login");
+    cluster.write_file(p, "/m", &vec![3u8; 1024]).expect("seed");
+    cluster.settle();
+    let ctx = locus_fs::ProcFsCtx::new(
+        cluster.fs().kernel(us).mount.root().unwrap(),
+        MachineType::Vax,
+    );
+    let gfid = namei::resolve(cluster.fs(), us, &ctx, "/m").expect("resolve");
+
+    println!("E3: messages per operation (US=S3 diskless, CSS=S0, containers=3)\n");
+    println!("{:<34} {:>9} {:>9}", "operation", "measured", "paper");
+
+    // Open from the diskless site (CSS stores latest: optimized open).
+    cluster.net().reset_stats();
+    let t = open::open_gfid(cluster.fs(), us, gfid, OpenMode::Read).expect("open");
+    println!(
+        "{:<34} {:>9} {:>9}",
+        "open (CSS-is-SS optimization)",
+        cluster.net().stats().total_sends(),
+        2
+    );
+
+    // One remote page read.
+    cluster.net().reset_stats();
+    io::get_page(cluster.fs(), us, gfid, t.ss, 0, 1).expect("read");
+    println!(
+        "{:<34} {:>9} {:>9}",
+        "read one page",
+        cluster.net().stats().total_sends(),
+        2
+    );
+
+    // Close (read-only, CSS == SS here: two-message close).
+    cluster.net().reset_stats();
+    open::close_ticket(cluster.fs(), us, &t).expect("close");
+    println!(
+        "{:<34} {:>9} {:>9}",
+        "close (CSS == SS)",
+        cluster.net().stats().total_sends(),
+        2
+    );
+
+    // Write path: open for modification, write one whole page remotely.
+    let t = open::open_gfid(cluster.fs(), us, gfid, OpenMode::Write).expect("open write");
+    cluster.net().reset_stats();
+    io::put_page_range(cluster.fs(), us, gfid, t.ss, 0, &vec![9u8; 1024], 1024).expect("write");
+    let st = cluster.net().stats();
+    println!(
+        "{:<34} {:>9} {:>9}",
+        "write one whole page",
+        st.sends("WRITE page"),
+        1
+    );
+
+    // Commit: US->SS exchange plus notifications to CSS and the other
+    // containers ("messages to all the other SS's as well as the CSS").
+    cluster.net().reset_stats();
+    commit::commit_at(cluster.fs(), us, gfid, t.ss, None).expect("commit");
+    let st = cluster.net().stats();
+    println!(
+        "{:<34} {:>9} {:>9}",
+        "commit notify fan-out",
+        st.sends("COMMIT notify"),
+        2 // containers - 1 = 3 - 1
+    );
+    open::close_ticket(cluster.fs(), us, &t).expect("close");
+    cluster.settle();
+
+    // The four-message general close needs US, SS, CSS all distinct:
+    // US=3 opens while the CSS (S0) is cut off so SS=S1/CSS=S1, then the
+    // topology heals and the CSS moves back to S0 before the close.
+    cluster.partition(&[vec![SiteId(1), SiteId(2), SiteId(3)], vec![SiteId(0)]]);
+    cluster.reconfigure().expect("reconfig");
+    let t = open::open_gfid(cluster.fs(), us, gfid, OpenMode::Read).expect("open");
+    cluster.heal();
+    cluster.reconfigure().expect("merge");
+    assert_ne!(t.ss, SiteId(0));
+    cluster.net().reset_stats();
+    open::close_ticket(cluster.fs(), us, &t).expect("close");
+    let st = cluster.net().stats();
+    let close_msgs = st.sends("CLOSE req")
+        + st.sends("CLOSE resp")
+        + st.sends("SSCLOSE req")
+        + st.sends("SSCLOSE resp");
+    println!(
+        "{:<34} {:>9} {:>9}",
+        "close (US, SS, CSS distinct)", close_msgs, 4
+    );
+
+    println!("\npaper: §2.3.3 read/close protocols, §2.3.5 write, §2.3.6 commit.");
+}

@@ -1,0 +1,149 @@
+//! The full dynamic-reconfiguration procedure (§5.3–§5.6): partition
+//! protocol → merge protocol → cleanup → CSS re-selection and lock-table
+//! rebuild → recovery.
+
+use std::collections::BTreeSet;
+
+use locus_fs::ops::cleanup::{cleanup_site, rebuild_css_state, CleanupReport};
+use locus_recovery::{reconcile_filegroup, RecoveryReport};
+use locus_topology::merge::merge_protocol;
+use locus_topology::partition::partition_all;
+use locus_topology::select_css;
+use locus_types::{FilegroupId, SiteId, SysResult};
+
+use crate::cluster::Cluster;
+
+/// What one reconfiguration did.
+#[derive(Debug, Default)]
+pub struct ReconfigReport {
+    /// The partitions that emerged (sorted member sets).
+    pub partitions: Vec<BTreeSet<SiteId>>,
+    /// Partition-protocol polls sent.
+    pub partition_polls: u32,
+    /// Merge-protocol polls sent.
+    pub merge_polls: u32,
+    /// Cleanup actions at each site.
+    pub cleanup: Vec<(SiteId, CleanupReport)>,
+    /// CSS assignments per filegroup per partition.
+    pub css_assignments: Vec<(FilegroupId, SiteId)>,
+    /// Lock-table entries re-registered at new CSSs.
+    pub locks_rebuilt: usize,
+    /// Parent/child partition-split notifications delivered.
+    pub procs_notified: usize,
+    /// Orphaned subtransactions aborted (§5.6).
+    pub txns_aborted: usize,
+    /// Recovery results, one per (filegroup, partition that could run it).
+    pub recovery: Vec<(FilegroupId, RecoveryReport)>,
+}
+
+impl Cluster {
+    /// Runs the complete reconfiguration procedure. In the real system
+    /// this fires automatically on any virtual-circuit failure or site
+    /// arrival; in the simulation the test/driver calls it after changing
+    /// the topology.
+    pub fn reconfigure(&self) -> SysResult<ReconfigReport> {
+        let mut report = ReconfigReport::default();
+        let net = self.net();
+
+        // Crashed sites: processes on them die with their volatile state
+        // (§3.3). Detect against the previous liveness snapshot.
+        {
+            let mut prev = self.prev_up.borrow_mut();
+            let now_up: BTreeSet<SiteId> = (0..net.site_count() as u32)
+                .map(SiteId)
+                .filter(|&s| net.is_up(s))
+                .collect();
+            for &dead in prev.difference(&now_up) {
+                self.procs.handle_site_failure(&self.fsc, dead);
+            }
+            *prev = now_up;
+        }
+
+        // Stage 1: the partition protocol finds consistent, maximum
+        // partitions by iterative intersection (§5.4).
+        let outcomes = {
+            let mut beliefs = self.beliefs.borrow_mut();
+            partition_all(net, &mut beliefs)
+        };
+        for o in &outcomes {
+            report.partition_polls += o.polls;
+        }
+
+        // Stage 2: the merge protocol, run by each partition's lowest
+        // site, checks all possible sites and absorbs every reachable
+        // sub-partition (§5.5).
+        let mut final_partitions: Vec<BTreeSet<SiteId>> = Vec::new();
+        for o in &outcomes {
+            let initiator = *o.members.iter().next().expect("non-empty partition");
+            if final_partitions.iter().any(|p| p.contains(&initiator)) {
+                continue; // already absorbed by an earlier merge
+            }
+            let mo = {
+                let mut beliefs = self.beliefs.borrow_mut();
+                merge_protocol(net, initiator, &mut beliefs, self.merge_timeouts)
+            };
+            report.merge_polls += mo.polls;
+            final_partitions.push(mo.members);
+        }
+        report.partitions = final_partitions.clone();
+
+        // Stage 3: cleanup (§5.6) at every member of every partition, then
+        // CSS re-selection and lock-table rebuild.
+        for partition in &final_partitions {
+            // New synchronization sites first ("the system must select,
+            // for each filegroup it supports, a new synchronization
+            // site"), so the cleanup's transparent reopens go through a
+            // CSS that is actually in this partition.
+            let fgs: Vec<(FilegroupId, Vec<SiteId>)> = {
+                let first = *partition.iter().next().expect("non-empty");
+                let k = self.fsc.kernel(first);
+                k.mount
+                    .filegroups()
+                    .map(|m| (m.fg, m.containers.iter().map(|(_, s)| *s).collect()))
+                    .collect()
+            };
+            for (fg, containers) in &fgs {
+                if let Some(css) = select_css(partition, containers) {
+                    for &site in partition {
+                        if let Ok(m) = self.fsc.kernel(site).mount.get_mut(*fg) {
+                            m.css = css;
+                        }
+                    }
+                    report.css_assignments.push((*fg, css));
+                }
+            }
+            for &site in partition {
+                let r = cleanup_site(&self.fsc, site, partition);
+                report.cleanup.push((site, r));
+            }
+            report.locks_rebuilt += rebuild_css_state(&self.fsc, partition);
+        }
+
+        // Cross-partition process pairs and orphaned subtransactions.
+        report.procs_notified = self.procs.handle_partition_split(&self.fsc);
+        report.txns_aborted = self.txns.abort_orphans(&self.fsc);
+
+        // Stage 4: the recovery procedure (§4) per filegroup, run in each
+        // partition that has a synchronization site for it.
+        for partition in &final_partitions {
+            let first = *partition.iter().next().expect("non-empty");
+            let fgs: Vec<FilegroupId> = {
+                let k = self.fsc.kernel(first);
+                k.mount.filegroups().map(|m| m.fg).collect()
+            };
+            for fg in fgs {
+                let css = match self.fsc.kernel(first).mount.css_of(fg) {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                if !partition.contains(&css) {
+                    continue; // no container here: the filegroup is inaccessible
+                }
+                let r = reconcile_filegroup(&self.fsc, css, fg)?;
+                report.recovery.push((fg, r));
+            }
+        }
+        self.fsc.settle();
+        Ok(report)
+    }
+}

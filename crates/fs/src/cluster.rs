@@ -1,0 +1,239 @@
+//! The multi-site filesystem cluster: kernels + network + message
+//! dispatch.
+//!
+//! LOCUS is "a procedure based operating system — processes request system
+//! service by executing system calls … At the point within the execution
+//! of the system call that foreign service is needed, the operating system
+//! packages up a message and sends it to the relevant foreign site.
+//! Typically the kernel then sleeps, waiting for a response" (§2.3.2,
+//! Figure 1). `FsCluster`'s internal `rpc` reproduces exactly that flow: the
+//! caller's kernel state is quiescent while the serving site's handler
+//! runs, and the reply resumes the system call.
+//!
+//! Commit notifications and update propagation are instead *asynchronous*:
+//! they are queued as posts and drained by [`FsCluster::settle`], which
+//! plays the role of the paper's background kernel process servicing the
+//! propagation queue (§2.3.6). Tests can observe the staleness window
+//! between a commit and the corresponding `settle`.
+
+use std::cell::{Cell, RefCell, RefMut};
+use std::collections::VecDeque;
+
+use locus_net::Net;
+use locus_types::{Errno, SiteId, SysResult};
+
+use crate::kernel::FsKernel;
+use crate::ops;
+use crate::proto::{FsMsg, FsReply};
+
+/// The distributed filesystem: one kernel per site plus the network.
+pub struct FsCluster {
+    pub(crate) net: Net,
+    pub(crate) kernels: Vec<RefCell<FsKernel>>,
+    pub(crate) pending: RefCell<VecDeque<(SiteId, SiteId, FsMsg)>>,
+    pub(crate) next_shared: Cell<u64>,
+    pub(crate) mail_seq: Cell<u32>,
+}
+
+impl FsCluster {
+    /// Assembles a cluster from prepared kernels (use
+    /// [`crate::build::FsClusterBuilder`] rather than calling this
+    /// directly).
+    pub fn from_parts(net: Net, kernels: Vec<FsKernel>) -> Self {
+        FsCluster {
+            net,
+            kernels: kernels.into_iter().map(RefCell::new).collect(),
+            pending: RefCell::new(VecDeque::new()),
+            next_shared: Cell::new(1),
+            mail_seq: Cell::new(1),
+        }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The simulated network (fault injection, statistics, clock).
+    pub fn net(&self) -> &Net {
+        &self.net
+    }
+
+    /// Borrows the kernel of `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is already borrowed — which would indicate a
+    /// re-entrant message cycle, a protocol bug this simulation is
+    /// designed to surface loudly.
+    pub fn kernel(&self, site: SiteId) -> RefMut<'_, FsKernel> {
+        self.kernels[site.index()].borrow_mut()
+    }
+
+    /// Runs `f` with the kernel of `site` borrowed.
+    pub fn with_kernel<R>(&self, site: SiteId, f: impl FnOnce(&mut FsKernel) -> R) -> R {
+        f(&mut self.kernel(site))
+    }
+
+    /// All site identifiers.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> {
+        (0..self.kernels.len() as u32).map(SiteId)
+    }
+
+    /// Synchronous remote procedure call (§2.3.2): request message, remote
+    /// handler, reply message. A same-site "call" is a plain procedure
+    /// call with no network traffic.
+    pub(crate) fn rpc(&self, from: SiteId, to: SiteId, msg: FsMsg) -> SysResult<FsReply> {
+        if from == to {
+            return self.dispatch(to, from, msg);
+        }
+        let kind = msg.kind();
+        let reply_kind = msg.reply_kind();
+        self.net
+            .send(from, to, kind, msg.wire_bytes())
+            .map_err(|_| Errno::Esitedown)?;
+        let result = self.dispatch(to, from, msg);
+        // The reply (even an error reply) crosses the network too; if the
+        // partition changed while the handler ran, the reply is lost.
+        let bytes = match &result {
+            Ok(reply) => reply.wire_bytes(),
+            Err(_) => crate::cost::CONTROL_MSG_BYTES,
+        };
+        self.net
+            .send(to, from, reply_kind, bytes)
+            .map_err(|_| Errno::Esitedown)?;
+        result
+    }
+
+    /// One-way message with only low-level acknowledgement (the write
+    /// protocol and commit notifications, §2.3.5–2.3.6): one message, no
+    /// reply message, delivered and handled immediately.
+    pub(crate) fn one_way(&self, from: SiteId, to: SiteId, msg: FsMsg) -> SysResult<FsReply> {
+        if from == to {
+            return self.dispatch(to, from, msg);
+        }
+        self.net
+            .send(from, to, msg.kind(), msg.wire_bytes())
+            .map_err(|_| Errno::Esitedown)?;
+        self.dispatch(to, from, msg)
+    }
+
+    /// Queues an asynchronous post, delivered at the next
+    /// [`settle`](Self::settle). Posts to sites that become unreachable
+    /// are silently dropped — partition recovery reconciles later (§4).
+    #[allow(dead_code)] // kept for subsystems that defer notifications
+    pub(crate) fn post(&self, from: SiteId, to: SiteId, msg: FsMsg) {
+        self.pending.borrow_mut().push_back((from, to, msg));
+    }
+
+    /// Drains all background work: pending commit notifications and the
+    /// per-site propagation queues, until quiescent.
+    pub fn settle(&self) {
+        for _ in 0..10_000 {
+            let mut moved = false;
+            loop {
+                let item = self.pending.borrow_mut().pop_front();
+                let Some((from, to, msg)) = item else { break };
+                moved = true;
+                if self.net.reachable(from, to) && from != to {
+                    // Delivery failures surface as dropped notifications,
+                    // exactly like a partition race; recovery handles it.
+                    let _ = self.one_way(from, to, msg);
+                }
+            }
+            for site in self.sites() {
+                loop {
+                    let req = {
+                        let mut k = self.kernel(site);
+                        k.prop_queue.pop_front()
+                    };
+                    let Some(req) = req else { break };
+                    moved = true;
+                    // A failed pull leaves the local copy coherent but out
+                    // of date (§2.3.6); the merge procedure fixes it.
+                    let _ = ops::commit::propagate_pull(self, site, &req);
+                }
+            }
+            if !moved {
+                return;
+            }
+        }
+        // Unreachable in practice; a livelock here would be a protocol bug.
+        panic!("settle did not quiesce");
+    }
+
+    /// Whether any background work is pending (tests use this to observe
+    /// the propagation window).
+    pub fn has_pending_background_work(&self) -> bool {
+        if !self.pending.borrow().is_empty() {
+            return true;
+        }
+        self.sites().any(|s| self.kernel(s).prop_queue_len() > 0)
+    }
+
+    /// Central message dispatch: the serving site's kernel runs the
+    /// requested operation (Figure 1's "system call continuation").
+    fn dispatch(&self, at: SiteId, _from: SiteId, msg: FsMsg) -> SysResult<FsReply> {
+        match msg {
+            FsMsg::OpenReq {
+                gfid,
+                mode,
+                us_vv,
+                us,
+            } => ops::open::handle_css_open(self, at, gfid, mode, us_vv, us),
+            FsMsg::SsPoll {
+                gfid,
+                latest,
+                us,
+                write,
+            } => ops::open::handle_ss_poll(self, at, gfid, &latest, us, write),
+            FsMsg::ReadPage { gfid, lpn, .. } => ops::io::handle_read_page(self, at, gfid, lpn),
+            FsMsg::WritePage {
+                gfid,
+                lpn,
+                data,
+                new_size,
+            } => ops::io::handle_write_page(self, at, gfid, lpn, &data, new_size),
+            FsMsg::Commit { gfid, meta } => ops::commit::handle_commit(self, at, gfid, meta),
+            FsMsg::AbortChanges { gfid } => ops::commit::handle_abort(self, at, gfid),
+            FsMsg::Close { gfid, us, write } => ops::open::handle_close(self, at, gfid, us, write),
+            FsMsg::SsClose { gfid, us, write } => {
+                ops::open::handle_ss_close(self, at, gfid, us, write)
+            }
+            FsMsg::CommitNotify {
+                gfid,
+                vv,
+                source,
+                origin,
+                inode_only,
+                pages,
+                info,
+            } => ops::commit::handle_commit_notify(
+                self, at, gfid, vv, source, origin, inode_only, pages, info,
+            ),
+            FsMsg::PullOpen { gfid } => ops::commit::handle_pull_open(self, at, gfid),
+            FsMsg::TokenAcquire { id, requester } => {
+                ops::fd::handle_token_acquire(self, at, id, requester)
+            }
+            FsMsg::TokenRecall { id } => ops::fd::handle_token_recall(self, at, id),
+            FsMsg::TokenGive { id, offset } => ops::fd::handle_token_give(self, at, id, offset),
+            FsMsg::PipeOp { gfid, op } => ops::io::handle_pipe_op(self, at, gfid, op),
+            FsMsg::DeviceOp { gfid, op } => ops::io::handle_device_op(self, at, gfid, op),
+            FsMsg::CreateAt {
+                fg,
+                pack_idx,
+                ftype,
+                perms,
+                owner,
+                replicas,
+            } => {
+                ops::namei::handle_create_at(self, at, fg, pack_idx, ftype, perms, owner, replicas)
+            }
+            FsMsg::Invalidate { gfid } => {
+                let mut k = self.kernel(at);
+                k.invalidate_caches_for(gfid);
+                Ok(FsReply::Ok)
+            }
+        }
+    }
+}

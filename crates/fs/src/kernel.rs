@@ -1,0 +1,394 @@
+//! The per-site filesystem kernel: packs, incore inodes, buffer cache,
+//! open-file table, shadow sessions and the propagation queue.
+
+use std::collections::{HashMap, VecDeque};
+
+use locus_storage::{BufferCache, Pack, ShadowSession};
+use locus_types::{Errno, FilegroupId, Gfid, MachineType, OpenMode, PackId, SiteId, SysResult};
+
+use crate::device::DeviceState;
+use crate::incore::Incore;
+use crate::mount::MountTable;
+use crate::pipe::PipeState;
+use crate::proto::{Fd, InodeInfo, SharedFdId};
+
+/// What a file descriptor is attached to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FdKind {
+    /// A regular file (or directory opened internally).
+    File,
+    /// A pipe endpoint; `reader` distinguishes the two ends.
+    Pipe {
+        /// Whether this is the read end.
+        reader: bool,
+    },
+    /// A character device.
+    Device,
+}
+
+/// One open-file table entry.
+#[derive(Clone, Debug)]
+pub struct OpenFile {
+    /// The open file.
+    pub gfid: Gfid,
+    /// Open mode.
+    pub mode: OpenMode,
+    /// Current byte offset ("file descriptors … contain current file
+    /// position pointers", §3.1).
+    pub offset: u64,
+    /// The storage site serving this open.
+    pub ss: SiteId,
+    /// Cached inode info from open time.
+    pub info: InodeInfo,
+    /// Attachment kind.
+    pub kind: FdKind,
+    /// Shared-descriptor group, for descriptors inherited across a remote
+    /// fork (§3.1 fn 1).
+    pub shared: Option<SharedFdId>,
+    /// Home site of the shared group (where the token state lives).
+    pub shared_home: SiteId,
+    /// Whether any write has been issued (close must commit).
+    pub wrote: bool,
+    /// Error latched by the cleanup procedure ("set error in local file
+    /// descriptor", §5.6); subsequent operations return it.
+    pub error: Option<locus_types::Errno>,
+}
+
+/// Home-site record of a shared descriptor group: who currently holds the
+/// offset token, and the offset as of the last surrender.
+#[derive(Clone, Debug)]
+pub struct SharedHome {
+    /// Current token holder.
+    pub holder: SiteId,
+    /// Offset last synchronized at the home site.
+    pub offset: u64,
+}
+
+/// A queued propagation request ("a queue of propagation requests is kept
+/// by the kernel at each site and a kernel process services the queue",
+/// §2.3.6).
+#[derive(Clone, Debug)]
+pub struct PropReq {
+    /// File to bring up to date.
+    pub gfid: Gfid,
+    /// Site that holds the latest version.
+    pub source: SiteId,
+    /// Only these pages changed, if known.
+    pub pages: Option<Vec<usize>>,
+}
+
+/// The filesystem kernel of one site.
+#[derive(Debug)]
+pub struct FsKernel {
+    /// This site.
+    pub site: SiteId,
+    /// This site's CPU type (hidden-directory context, §2.4.1).
+    pub machine: MachineType,
+    /// Replicated mount table.
+    pub mount: MountTable,
+    pub(crate) packs: HashMap<PackId, Pack>,
+    pub(crate) incore: HashMap<Gfid, Incore>,
+    pub(crate) cache: BufferCache,
+    pub(crate) sessions: HashMap<Gfid, ShadowSession>,
+    pub(crate) fds: HashMap<Fd, OpenFile>,
+    next_fd: Fd,
+    pub(crate) shared_home: HashMap<SharedFdId, SharedHome>,
+    /// Shared groups whose token this site currently holds, mapped to the
+    /// local descriptor carrying the live offset.
+    pub(crate) token_held: HashMap<SharedFdId, Fd>,
+    pub(crate) pipes: HashMap<Gfid, PipeState>,
+    pub(crate) devices: HashMap<Gfid, DeviceState>,
+    pub(crate) prop_queue: VecDeque<PropReq>,
+    /// Latest version vectors learned from commit notifications; a CSS
+    /// whose own data copy is stale still "knows what the most current
+    /// version of the file is" (§2.3.1) through this table.
+    pub(crate) latest: HashMap<Gfid, locus_types::VersionVector>,
+    /// The version under which remotely fetched pages were cached — the
+    /// page-valid check (§3.2 fn 1): an open under a newer version drops
+    /// the stale buffers.
+    pub(crate) cache_vv: HashMap<Gfid, locus_types::VersionVector>,
+}
+
+impl FsKernel {
+    /// A kernel with no packs; storage is attached by the builder.
+    pub fn new(site: SiteId, machine: MachineType) -> Self {
+        FsKernel {
+            site,
+            machine,
+            mount: MountTable::new(),
+            packs: HashMap::new(),
+            incore: HashMap::new(),
+            cache: BufferCache::new(256),
+            sessions: HashMap::new(),
+            fds: HashMap::new(),
+            next_fd: 3, // 0-2 conventionally reserved
+            shared_home: HashMap::new(),
+            token_held: HashMap::new(),
+            pipes: HashMap::new(),
+            devices: HashMap::new(),
+            prop_queue: VecDeque::new(),
+            latest: HashMap::new(),
+            cache_vv: HashMap::new(),
+        }
+    }
+
+    /// Records a version vector learned from a commit notification,
+    /// keeping the newest.
+    pub fn note_latest(&mut self, gfid: Gfid, vv: &locus_types::VersionVector) {
+        match self.latest.get_mut(&gfid) {
+            Some(cur) => {
+                if vv.covers(cur) {
+                    *cur = vv.clone();
+                }
+            }
+            None => {
+                self.latest.insert(gfid, vv.clone());
+            }
+        }
+    }
+
+    /// The most current version this site knows for `gfid`: the maximum of
+    /// its container copy's vector and notified vectors.
+    pub fn known_latest(&self, gfid: Gfid) -> locus_types::VersionVector {
+        let local = self.local_info(gfid).map(|i| i.vv).unwrap_or_default();
+        match self.latest.get(&gfid) {
+            Some(n) if n.covers(&local) => n.clone(),
+            _ => local,
+        }
+    }
+
+    /// Clears notified-version state (recovery rebuilds it after merge).
+    pub fn clear_latest(&mut self) {
+        self.latest.clear();
+    }
+
+    /// Attaches a physical container to this site.
+    pub fn attach_pack(&mut self, pack: Pack) {
+        self.packs.insert(pack.id(), pack);
+    }
+
+    /// The local container of `fg`, if this site hosts one.
+    pub fn pack_of(&mut self, fg: FilegroupId) -> Option<&mut Pack> {
+        self.packs.values_mut().find(|p| p.id().fg == fg)
+    }
+
+    /// Immutable view of the local container of `fg`.
+    pub fn pack_of_ref(&self, fg: FilegroupId) -> Option<&Pack> {
+        self.packs.values().find(|p| p.id().fg == fg)
+    }
+
+    /// Whether this site stores the *data* of `gfid` locally.
+    pub fn stores_data(&self, gfid: Gfid) -> bool {
+        self.pack_of_ref(gfid.fg)
+            .and_then(|p| p.inode(gfid.ino))
+            .map(|i| i.data_here && !i.deleted)
+            .unwrap_or(false)
+    }
+
+    /// The local copy's inode info, if the container has (at least
+    /// metadata for) the file.
+    pub fn local_info(&self, gfid: Gfid) -> Option<InodeInfo> {
+        self.pack_of_ref(gfid.fg)
+            .and_then(|p| p.inode(gfid.ino))
+            .map(InodeInfo::from)
+    }
+
+    /// The incore structure for `gfid`, allocating one around `info` if
+    /// absent (§2.3.3).
+    pub fn incore_mut(&mut self, gfid: Gfid, info: InodeInfo) -> &mut Incore {
+        self.incore.entry(gfid).or_insert_with(|| Incore::new(info))
+    }
+
+    /// The existing incore structure, if allocated.
+    pub fn incore_get(&mut self, gfid: Gfid) -> Option<&mut Incore> {
+        self.incore.get_mut(&gfid)
+    }
+
+    /// Releases the incore structure if no role still needs it ("so they
+    /// can deallocate incore inode structures", §2.3.3).
+    pub fn maybe_release_incore(&mut self, gfid: Gfid) {
+        if let Some(inc) = self.incore.get(&gfid) {
+            if inc.idle() {
+                self.incore.remove(&gfid);
+            }
+        }
+    }
+
+    /// Allocates a descriptor.
+    pub fn alloc_fd(&mut self, of: OpenFile) -> Fd {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(fd, of);
+        fd
+    }
+
+    /// Installs a descriptor under a specific number (fork inheritance).
+    pub fn install_fd(&mut self, fd: Fd, of: OpenFile) {
+        self.next_fd = self.next_fd.max(fd + 1);
+        self.fds.insert(fd, of);
+    }
+
+    /// Looks up a descriptor.
+    pub fn fd(&self, fd: Fd) -> SysResult<&OpenFile> {
+        self.fds.get(&fd).ok_or(Errno::Ebadf)
+    }
+
+    /// Mutable descriptor lookup.
+    pub fn fd_mut(&mut self, fd: Fd) -> SysResult<&mut OpenFile> {
+        self.fds.get_mut(&fd).ok_or(Errno::Ebadf)
+    }
+
+    /// Removes a descriptor.
+    pub fn take_fd(&mut self, fd: Fd) -> SysResult<OpenFile> {
+        self.fds.remove(&fd).ok_or(Errno::Ebadf)
+    }
+
+    /// Number of open descriptors (tests assert no leaks).
+    pub fn open_fd_count(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Number of live incore structures (tests assert deallocation).
+    pub fn incore_count(&self) -> usize {
+        self.incore.len()
+    }
+
+    /// Queued propagation requests.
+    pub fn prop_queue_len(&self) -> usize {
+        self.prop_queue.len()
+    }
+
+    /// Enqueues a propagation pull unless an identical one is pending.
+    pub fn enqueue_propagation(&mut self, req: PropReq) {
+        let dup = self
+            .prop_queue
+            .iter()
+            .any(|r| r.gfid == req.gfid && r.source == req.source);
+        if !dup {
+            self.prop_queue.push_back(req);
+        }
+    }
+
+    /// Registered open mode conflict helper: whether an US-side write open
+    /// exists for `gfid` on this site.
+    pub fn writing_here(&self, gfid: Gfid) -> bool {
+        self.incore.get(&gfid).map(|i| i.writing).unwrap_or(false)
+    }
+
+    /// Device registry access for examples/tests (attach input, inspect
+    /// output).
+    pub fn device_mut(&mut self, gfid: Gfid) -> Option<&mut DeviceState> {
+        self.devices.get_mut(&gfid)
+    }
+
+    /// Registers a device instance at this site (its *home*); the device
+    /// special file `gfid` routes operations here (§2.4.2).
+    pub fn register_device(&mut self, gfid: Gfid, dev: DeviceState) {
+        self.devices.insert(gfid, dev);
+    }
+
+    /// Buffer-cache statistics `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Drops every cached page of `gfid`, local and network-fetched.
+    /// Recovery calls this after rewriting copies behind the cache's back.
+    pub fn invalidate_caches_for(&mut self, gfid: Gfid) {
+        self.cache_vv.remove(&gfid);
+        if let Some(p) = self.pack_of(gfid.fg) {
+            let pid = p.id();
+            self.cache.invalidate_file(pid, gfid.ino);
+        }
+        self.cache
+            .invalidate_file(PackId::new(gfid.fg, u32::MAX), gfid.ino);
+    }
+
+    /// Validates open-mode argument for externally issued opens.
+    pub(crate) fn check_external_mode(mode: OpenMode) -> SysResult<()> {
+        if mode.synchronized() {
+            Ok(())
+        } else {
+            Err(Errno::Einval)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::{FileType, Ino, Perms, Ticks, VersionVector};
+
+    fn info() -> InodeInfo {
+        InodeInfo {
+            ftype: FileType::Untyped,
+            perms: Perms::FILE_DEFAULT,
+            owner: 0,
+            size: 0,
+            nlink: 1,
+            vv: VersionVector::new(),
+            mtime: Ticks::ZERO,
+            deleted: false,
+            conflict: false,
+            replicas: vec![0],
+        }
+    }
+
+    #[test]
+    fn fd_lifecycle() {
+        let mut k = FsKernel::new(SiteId(0), MachineType::Vax);
+        let gfid = Gfid::new(FilegroupId(0), Ino(2));
+        let fd = k.alloc_fd(OpenFile {
+            gfid,
+            mode: OpenMode::Read,
+            offset: 0,
+            ss: SiteId(0),
+            info: info(),
+            kind: FdKind::File,
+            shared: None,
+            shared_home: SiteId(0),
+            wrote: false,
+            error: None,
+        });
+        assert!(fd >= 3);
+        assert_eq!(k.fd(fd).unwrap().gfid, gfid);
+        k.take_fd(fd).unwrap();
+        assert_eq!(k.fd(fd).err(), Some(Errno::Ebadf));
+        assert_eq!(k.open_fd_count(), 0);
+    }
+
+    #[test]
+    fn incore_alloc_and_release() {
+        let mut k = FsKernel::new(SiteId(0), MachineType::Vax);
+        let gfid = Gfid::new(FilegroupId(0), Ino(2));
+        k.incore_mut(gfid, info()).opens_here = 1;
+        k.maybe_release_incore(gfid);
+        assert_eq!(k.incore_count(), 1, "busy structure kept");
+        k.incore_get(gfid).unwrap().opens_here = 0;
+        k.maybe_release_incore(gfid);
+        assert_eq!(k.incore_count(), 0, "idle structure released");
+    }
+
+    #[test]
+    fn propagation_queue_dedups() {
+        let mut k = FsKernel::new(SiteId(0), MachineType::Vax);
+        let gfid = Gfid::new(FilegroupId(0), Ino(2));
+        let req = PropReq {
+            gfid,
+            source: SiteId(1),
+            pages: None,
+        };
+        k.enqueue_propagation(req.clone());
+        k.enqueue_propagation(req);
+        assert_eq!(k.prop_queue_len(), 1);
+    }
+
+    #[test]
+    fn external_unsync_mode_rejected() {
+        assert!(FsKernel::check_external_mode(OpenMode::Read).is_ok());
+        assert_eq!(
+            FsKernel::check_external_mode(OpenMode::InternalUnsyncRead),
+            Err(Errno::Einval)
+        );
+    }
+}

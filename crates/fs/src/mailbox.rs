@@ -1,0 +1,152 @@
+//! Mailbox file format.
+//!
+//! Mailboxes are a system-recognized file type because "notification of
+//! name conflicts in files is done by sending the user electronic mail. It
+//! is desirable that, after merge, the user's mailbox is in suitable
+//! condition for general use" (§4.5). The format is the paper's default
+//! storage discipline: "multiple messages are stored in a single file".
+//! Messages carry a unique id and a deletion mark, so partitioned inserts
+//! and deletes merge mechanically (§4.5: "the operations which can be done
+//! during partitioned operation are … insert and delete, but it is easy to
+//! arrange for no name conflicts").
+
+use locus_types::{Errno, SysResult};
+
+/// One mail message record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MailMsg {
+    /// Globally unique message id (origin site in the high bits plus a
+    /// per-site sequence, which is how "no name conflicts" is arranged).
+    pub id: u64,
+    /// Whether the message has been deleted.
+    pub deleted: bool,
+    /// Message body.
+    pub body: String,
+}
+
+/// An in-memory mailbox image.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Mailbox {
+    messages: Vec<MailMsg>,
+}
+
+impl Mailbox {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Builds a unique message id from origin site and sequence number.
+    pub fn message_id(origin_site: u32, seq: u32) -> u64 {
+        ((origin_site as u64) << 32) | seq as u64
+    }
+
+    /// Parses a mailbox file image.
+    ///
+    /// Format per record: `status u8 | id u64 LE | len u32 LE | body`.
+    pub fn parse(bytes: &[u8]) -> SysResult<Self> {
+        let mut messages = Vec::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if bytes.len() - i < 13 {
+                return Err(Errno::Eio);
+            }
+            let status = bytes[i];
+            let id = u64::from_le_bytes(bytes[i + 1..i + 9].try_into().expect("sized"));
+            let len = u32::from_le_bytes(bytes[i + 9..i + 13].try_into().expect("sized")) as usize;
+            i += 13;
+            if bytes.len() - i < len {
+                return Err(Errno::Eio);
+            }
+            let body = std::str::from_utf8(&bytes[i..i + len])
+                .map_err(|_| Errno::Eio)?
+                .to_owned();
+            i += len;
+            messages.push(MailMsg {
+                id,
+                deleted: status == 0,
+                body,
+            });
+        }
+        Ok(Mailbox { messages })
+    }
+
+    /// Serializes to the on-disk format.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for m in &self.messages {
+            out.push(if m.deleted { 0 } else { 1 });
+            out.extend_from_slice(&m.id.to_le_bytes());
+            out.extend_from_slice(&(m.body.len() as u32).to_le_bytes());
+            out.extend_from_slice(m.body.as_bytes());
+        }
+        out
+    }
+
+    /// Appends a message.
+    pub fn insert(&mut self, id: u64, body: &str) {
+        self.messages.push(MailMsg {
+            id,
+            deleted: false,
+            body: body.to_owned(),
+        });
+    }
+
+    /// Marks a message deleted.
+    pub fn delete(&mut self, id: u64) -> SysResult<()> {
+        match self.messages.iter_mut().find(|m| m.id == id && !m.deleted) {
+            Some(m) => {
+                m.deleted = true;
+                Ok(())
+            }
+            None => Err(Errno::Enoent),
+        }
+    }
+
+    /// Live (undeleted) messages.
+    pub fn live(&self) -> impl Iterator<Item = &MailMsg> + '_ {
+        self.messages.iter().filter(|m| !m.deleted)
+    }
+
+    /// All records, including deleted ones (merge needs them).
+    pub fn records(&self) -> &[MailMsg] {
+        &self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut mb = Mailbox::new();
+        mb.insert(Mailbox::message_id(1, 1), "hello");
+        mb.insert(Mailbox::message_id(2, 1), "world");
+        mb.delete(Mailbox::message_id(1, 1)).unwrap();
+        let mb2 = Mailbox::parse(&mb.serialize()).unwrap();
+        assert_eq!(mb, mb2);
+        assert_eq!(mb2.live().count(), 1);
+        assert_eq!(mb2.records().len(), 2);
+    }
+
+    #[test]
+    fn ids_are_unique_across_origins() {
+        assert_ne!(Mailbox::message_id(1, 7), Mailbox::message_id(2, 7));
+        assert_ne!(Mailbox::message_id(1, 7), Mailbox::message_id(1, 8));
+    }
+
+    #[test]
+    fn delete_missing_is_enoent() {
+        let mut mb = Mailbox::new();
+        assert_eq!(mb.delete(42), Err(Errno::Enoent));
+    }
+
+    #[test]
+    fn parse_rejects_truncation() {
+        let mut mb = Mailbox::new();
+        mb.insert(1, "body");
+        let bytes = mb.serialize();
+        assert!(Mailbox::parse(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

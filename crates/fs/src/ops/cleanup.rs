@@ -1,0 +1,224 @@
+//! Filesystem cleanup after a partition change (§5.6).
+//!
+//! "Essentially, each machine, once it has decided that a particular site
+//! is unavailable, must invoke failure handling for all resources which
+//! its processes were using at that site, or for all local resources
+//! which processes at that site were using."
+//!
+//! The actions implemented here are the file rows of the §5.6 tables:
+//!
+//! | resource                          | action                                   |
+//! |-----------------------------------|------------------------------------------|
+//! | local file open for update remotely | discard pages, close file, abort updates |
+//! | local file open for read remotely   | close file                               |
+//! | remote file open for update locally  | discard pages, set error in descriptor   |
+//! | remote file open for read locally    | internal close, attempt reopen elsewhere |
+//!
+//! plus lock-table reconstruction at the (possibly new) CSS: "that site
+//! must reconstruct the lock table for all open files from the
+//! information remaining in the partition."
+
+use std::collections::BTreeSet;
+
+use locus_types::{Errno, Gfid, OpenMode, SiteId};
+
+use crate::cluster::FsCluster;
+use crate::kernel::FdKind;
+use crate::ops::open::open_gfid;
+use crate::proto::Fd;
+
+/// What cleanup did at one site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CleanupReport {
+    /// SS-side modification sessions aborted (departed writer).
+    pub sessions_aborted: usize,
+    /// SS-side serving registrations dropped (departed readers/writers).
+    pub remote_opens_closed: usize,
+    /// Local write descriptors latched with an error.
+    pub fds_errored: usize,
+    /// Local read descriptors transparently reopened at another copy.
+    pub fds_reopened: usize,
+    /// Read descriptors whose reopen found no available copy.
+    pub fds_lost: usize,
+    /// Shared-descriptor tokens reclaimed by their home site.
+    pub tokens_reclaimed: usize,
+}
+
+/// Runs the §5.6 cleanup at `site`, given the set of sites remaining in
+/// its partition.
+pub fn cleanup_site(fsc: &FsCluster, site: SiteId, alive: &BTreeSet<SiteId>) -> CleanupReport {
+    let mut report = CleanupReport::default();
+    if !fsc.net().is_up(site) {
+        return report;
+    }
+
+    // ---- SS and CSS roles: local resources in use remotely ----------
+    let mut sessions_to_abort: Vec<(SiteId, Gfid)> = Vec::new();
+    {
+        let mut k = fsc.kernel(site);
+        let gfids: Vec<Gfid> = k.incore.keys().copied().collect();
+        for gfid in gfids {
+            let inc = k.incore.get_mut(&gfid).expect("just listed");
+            // Close remote opens from departed sites.
+            let before = inc.serving.len();
+            inc.serving.retain(|s| alive.contains(s));
+            report.remote_opens_closed += before - inc.serving.len();
+            // CSS role: drop lock state of departed sites; a departed
+            // writer's open session (wherever the SS is) must abort.
+            if let Some(cs) = inc.css.as_mut() {
+                if let Some(w) = cs.writer {
+                    if !alive.contains(&w) {
+                        let ss = cs.ss_of.get(&w).copied().unwrap_or(site);
+                        sessions_to_abort.push((ss, gfid));
+                    }
+                }
+                cs.retain_sites(alive);
+            }
+        }
+        // A session at this site whose file no remaining US is writing
+        // and whose writer departed is covered by the CSS loop above when
+        // this site is the CSS; if the CSS itself departed, abort any
+        // session with no surviving serving writer conservatively.
+        let orphan_sessions: Vec<Gfid> = k
+            .sessions
+            .keys()
+            .copied()
+            .filter(|g| {
+                let css = k.mount.css_of(g.fg).ok();
+                css.map(|c| !alive.contains(&c)).unwrap_or(false)
+            })
+            .collect();
+        for g in orphan_sessions {
+            sessions_to_abort.push((site, g));
+        }
+    }
+    for (ss, gfid) in sessions_to_abort {
+        if ss == site {
+            if let Ok(()) = abort_local_session(fsc, site, gfid) {
+                report.sessions_aborted += 1;
+            }
+        } else if alive.contains(&ss)
+            && fsc
+                .rpc(site, ss, crate::proto::FsMsg::AbortChanges { gfid })
+                .is_ok()
+        {
+            report.sessions_aborted += 1;
+        }
+    }
+
+    // ---- US role: remote resources in use locally --------------------
+    let affected: Vec<(Fd, Gfid, bool)> = {
+        let k = fsc.kernel(site);
+        k.fds
+            .iter()
+            .filter(|(_, of)| of.kind == FdKind::File)
+            .filter(|(_, of)| of.ss != site && !alive.contains(&of.ss))
+            .map(|(&fd, of)| (fd, of.gfid, of.mode.is_write()))
+            .collect()
+    };
+    for (fd, gfid, write) in affected {
+        if write {
+            // "Discard pages, set error in local file descriptor."
+            let mut k = fsc.kernel(site);
+            if let Ok(of) = k.fd_mut(fd) {
+                of.error = Some(Errno::Esitedown);
+            }
+            k.invalidate_caches_for(gfid);
+            report.fds_errored += 1;
+        } else {
+            // "Internal close, attempt to reopen at other site."
+            fsc.with_kernel(site, |k| k.invalidate_caches_for(gfid));
+            match open_gfid(fsc, site, gfid, OpenMode::Read) {
+                Ok(t) => {
+                    let mut k = fsc.kernel(site);
+                    // The replacement open supersedes the lost one: fold
+                    // the counts back together.
+                    if let Some(inc) = k.incore_get(gfid) {
+                        inc.opens_here = inc.opens_here.saturating_sub(1);
+                    }
+                    if let Ok(of) = k.fd_mut(fd) {
+                        of.ss = t.ss;
+                        of.info = t.info.clone();
+                        of.error = None;
+                    }
+                    report.fds_reopened += 1;
+                }
+                Err(_) => {
+                    let mut k = fsc.kernel(site);
+                    if let Ok(of) = k.fd_mut(fd) {
+                        of.error = Some(Errno::Enocopy);
+                    }
+                    report.fds_lost += 1;
+                }
+            }
+        }
+    }
+
+    // ---- Shared-descriptor tokens ------------------------------------
+    {
+        let mut k = fsc.kernel(site);
+        for sh in k.shared_home.values_mut() {
+            if !alive.contains(&sh.holder) && sh.holder != site {
+                sh.holder = site;
+                report.tokens_reclaimed += 1;
+            }
+        }
+        // Drop queued pulls whose source departed; the recovery procedure
+        // re-schedules from a surviving copy.
+        k.prop_queue.retain(|r| alive.contains(&r.source));
+    }
+    report
+}
+
+fn abort_local_session(fsc: &FsCluster, site: SiteId, gfid: Gfid) -> Result<(), Errno> {
+    let mut k = fsc.kernel(site);
+    if let Some(sess) = k.sessions.remove(&gfid) {
+        let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+        sess.abort(pack)?;
+    }
+    Ok(())
+}
+
+/// Lock-table reconstruction at a (new) CSS: every partition member
+/// re-registers its open synchronized files ("that site must reconstruct
+/// the lock table for all open files from the information remaining in
+/// the partition", §5.6). Returns the number of re-registrations.
+pub fn rebuild_css_state(fsc: &FsCluster, partition: &BTreeSet<SiteId>) -> usize {
+    let mut registered = 0;
+    let members: Vec<SiteId> = partition.iter().copied().collect();
+    for &site in &members {
+        let opens: Vec<(Gfid, SiteId, bool)> = {
+            let k = fsc.kernel(site);
+            k.fds
+                .values()
+                .filter(|of| of.kind == FdKind::File && of.error.is_none())
+                .map(|of| (of.gfid, of.ss, of.mode.is_write()))
+                .collect()
+        };
+        for (gfid, ss, write) in opens {
+            let css = match fsc.kernel(site).mount.css_of(gfid.fg) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            if !partition.contains(&css) {
+                continue;
+            }
+            if css != site {
+                let _ = fsc.net().send(site, css, "RECONFIG register", 96);
+            }
+            let mut k = fsc.kernel(css);
+            let info = match k.local_info(gfid) {
+                Some(i) => i,
+                None => continue,
+            };
+            let mode = if write {
+                OpenMode::Write
+            } else {
+                OpenMode::Read
+            };
+            let _ = k.incore_mut(gfid, info).css_mut().register(site, ss, mode);
+            registered += 1;
+        }
+    }
+    registered
+}

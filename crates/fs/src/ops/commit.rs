@@ -1,0 +1,381 @@
+//! Atomic commit, abort, commit notification and pull propagation
+//! (§2.3.6).
+
+use locus_storage::ShadowSession;
+use locus_types::{Errno, Gfid, SiteId, SysResult, VersionVector};
+
+use crate::cluster::FsCluster;
+use crate::cost;
+use crate::kernel::PropReq;
+use crate::ops::io;
+use crate::proto::{FsMsg, FsReply, InodeInfo, MetaUpdate};
+
+/// Commits the modifications of `gfid` at its storage site `ss`, driven
+/// from using site `us`. Returns the post-commit inode information.
+pub fn commit_at(
+    fsc: &FsCluster,
+    us: SiteId,
+    gfid: Gfid,
+    ss: SiteId,
+    meta: Option<MetaUpdate>,
+) -> SysResult<InodeInfo> {
+    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    let reply = if ss == us {
+        handle_commit(fsc, ss, gfid, meta)?
+    } else {
+        fsc.rpc(us, ss, FsMsg::Commit { gfid, meta })?
+    };
+    let FsReply::Committed { info } = reply else {
+        return Err(Errno::Eio);
+    };
+    let mut k = fsc.kernel(us);
+    if let Some(inc) = k.incore_get(gfid) {
+        inc.info = info.clone();
+    }
+    k.cache
+        .invalidate_file(io::net_cache_pack(gfid.fg), gfid.ino);
+    Ok(info)
+}
+
+/// Discards uncommitted changes of `gfid` at `ss` ("undo any changes back
+/// to the previous commit point").
+pub fn abort_at(fsc: &FsCluster, us: SiteId, gfid: Gfid, ss: SiteId) -> SysResult<()> {
+    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    if ss == us {
+        handle_abort(fsc, ss, gfid)?;
+    } else {
+        fsc.rpc(us, ss, FsMsg::AbortChanges { gfid })?;
+    }
+    Ok(())
+}
+
+/// SS-side commit handler: installs the shadow pages atomically, bumps the
+/// version vector at this pack's origin, and issues the commit
+/// notifications (§2.3.6).
+pub(crate) fn handle_commit(
+    fsc: &FsCluster,
+    ss: SiteId,
+    gfid: Gfid,
+    meta: Option<MetaUpdate>,
+) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let now = fsc.net().now();
+    let (info, pages, inode_only, containers, css, readers, origin) = {
+        let mut k = fsc.kernel(ss);
+        let css = k.mount.css_of(gfid.fg)?;
+        let containers = k.mount.get(gfid.fg)?.containers.clone();
+        let mut sess = match k.sessions.remove(&gfid) {
+            Some(s) => s,
+            None => {
+                // An inode-only commit (chmod/chown/delete) with no data
+                // pages written opens a fresh session on the spot.
+                let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+                ShadowSession::begin(pack, gfid.ino)?
+            }
+        };
+        if let Some(m) = &meta {
+            if let Some(p) = m.perms {
+                sess.set_perms(p);
+            }
+            if let Some(o) = m.owner {
+                sess.set_owner(o);
+            }
+            if let Some(n) = m.nlink {
+                sess.set_nlink(n);
+            }
+            if m.delete {
+                sess.mark_deleted();
+            }
+        }
+        sess.set_mtime(now);
+        let pages = sess.modified_pages();
+        let inode_only = pages.is_empty();
+        let pack = k.pack_of(gfid.fg).expect("session implies pack");
+        let origin = pack.origin();
+        let mut vv = sess.working().vv.clone();
+        vv.bump(origin);
+        sess.commit(pack, vv)?;
+        let pack_id = pack.id();
+        let info = InodeInfo::from(pack.inode(gfid.ino).expect("just committed"));
+        let io_cost = pack.take_io_cost();
+        k.cache.invalidate_file(pack_id, gfid.ino);
+        k.note_latest(gfid, &info.vv);
+        let readers: Vec<SiteId> = k
+            .incore_get(gfid)
+            .map(|inc| inc.serving.iter().copied().collect())
+            .unwrap_or_default();
+        drop(k);
+        fsc.net().charge_cpu(io_cost);
+        (info, pages, inode_only, containers, css, readers, origin)
+    };
+
+    // "As part of the commit operation, the SS sends messages to all the
+    // other SS's of that file as well as the CSS" (§2.3.6). The
+    // notifications are one-way messages sent as part of the commit; the
+    // *data* propagation they trigger is background pull work, drained by
+    // `settle`. A notification lost to a partition is recovered at merge.
+    let notify = |source_pages: Option<Vec<usize>>| FsMsg::CommitNotify {
+        gfid,
+        vv: info.vv.clone(),
+        source: ss,
+        origin,
+        inode_only,
+        pages: source_pages,
+        info: info.clone(),
+    };
+    if css != ss {
+        let _ = fsc.one_way(ss, css, notify(Some(pages.clone())));
+    }
+    for (_, site) in containers {
+        if site != ss && site != css {
+            let _ = fsc.one_way(ss, site, notify(Some(pages.clone())));
+        }
+    }
+    // Readers holding now-stale buffers get invalidations (the simplified
+    // page-valid token scheme, §3.2 fn 1).
+    for r in readers {
+        if r != ss {
+            let _ = fsc.one_way(ss, r, FsMsg::Invalidate { gfid });
+        }
+    }
+    Ok(FsReply::Committed { info })
+}
+
+/// SS-side abort handler.
+pub(crate) fn handle_abort(fsc: &FsCluster, ss: SiteId, gfid: Gfid) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let mut k = fsc.kernel(ss);
+    if let Some(sess) = k.sessions.remove(&gfid) {
+        let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+        sess.abort(pack)?;
+    }
+    Ok(FsReply::Ok)
+}
+
+/// Commit-notification handler at a container site: update metadata in
+/// place when possible, otherwise queue a pull (§2.3.6).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_commit_notify(
+    fsc: &FsCluster,
+    at: SiteId,
+    gfid: Gfid,
+    vv: VersionVector,
+    source: SiteId,
+    origin: u32,
+    inode_only: bool,
+    pages: Option<Vec<usize>>,
+    info: InodeInfo,
+) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let mut k = fsc.kernel(at);
+    k.note_latest(gfid, &vv);
+    let mut enqueue = false;
+    {
+        let Some(pack) = k.pack_of(gfid.fg) else {
+            return Ok(FsReply::Ok); // not a container site
+        };
+        let my_origin = pack.origin();
+        let is_replica = info.replicas.contains(&my_origin);
+        match pack.inode(gfid.ino) {
+            None => {
+                // First sight of a new file: install a metadata copy; a
+                // data replica of a non-empty file must pull the pages.
+                let needs_data = is_replica && !info.deleted && info.size > 0;
+                let data_here = is_replica && !needs_data;
+                pack.install_inode(gfid.ino, info.to_disk_inode(data_here));
+                enqueue = needs_data;
+            }
+            Some(local) => {
+                if local.vv.covers(&vv) {
+                    return Ok(FsReply::Ok); // stale or duplicate notification
+                }
+                let has_data = local.data_here;
+                // A data-bearing copy may fold an inode-only commit in
+                // place only if its data is current up to the immediately
+                // preceding version; otherwise its pages are stale and the
+                // new vector must arrive with them, via a pull.
+                let is_immediate_predecessor = vv
+                    .iter()
+                    .all(|(o, c)| local.vv.get(o) + u64::from(o == origin) == c)
+                    && local.vv.iter().all(|(o, _)| vv.get(o) > 0);
+                if info.deleted {
+                    // "As those sites discover that the new version is a
+                    // delete, they also release their pages" (§2.3.7).
+                    let mut sess = ShadowSession::begin(pack, gfid.ino)?;
+                    sess.mark_deleted();
+                    sess.set_nlink(info.nlink);
+                    sess.commit(pack, vv)?;
+                } else if !has_data || (inode_only && is_immediate_predecessor) {
+                    // Metadata-only change, or a copy that stores no data:
+                    // fold the inode information in directly.
+                    let mut sess = ShadowSession::begin(pack, gfid.ino)?;
+                    sess.set_perms(info.perms);
+                    sess.set_owner(info.owner);
+                    sess.set_nlink(info.nlink);
+                    sess.set_replicas(info.replicas.clone());
+                    sess.set_mtime(info.mtime);
+                    if !has_data {
+                        sess.set_size(info.size);
+                        enqueue = is_replica && info.size > 0;
+                    }
+                    sess.commit(pack, vv)?;
+                } else {
+                    // A stale data copy: bring it up to date by pulling.
+                    enqueue = true;
+                }
+            }
+        }
+    }
+    {
+        let pid = k.pack_of(gfid.fg).expect("container checked above").id();
+        k.cache.invalidate_file(pid, gfid.ino);
+    }
+    if enqueue {
+        k.enqueue_propagation(PropReq {
+            gfid,
+            source,
+            pages,
+        });
+    }
+    Ok(FsReply::Ok)
+}
+
+/// Propagation-source handler: an internal open of the latest version for
+/// a pulling site (§2.3.6).
+pub(crate) fn handle_pull_open(fsc: &FsCluster, at: SiteId, gfid: Gfid) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let k = fsc.kernel(at);
+    let info = k.local_info(gfid).ok_or(Errno::Enocopy)?;
+    if !info.deleted && !k.stores_data(gfid) {
+        return Err(Errno::Enocopy);
+    }
+    Ok(FsReply::PullInfo { info })
+}
+
+/// The propagation kernel process: pulls a newer version of `gfid` from
+/// `req.source` into this site's container. "This propagation-in
+/// procedure uses the standard commit mechanism, so if contact is lost
+/// with the site containing the newer version, the local site is still
+/// left with a coherent, complete copy of the file, albeit still out of
+/// date" (§2.3.6).
+pub(crate) fn propagate_pull(fsc: &FsCluster, site: SiteId, req: &PropReq) -> SysResult<()> {
+    if !fsc.net().reachable(site, req.source) {
+        return Ok(()); // dropped; the merge procedure reconciles later
+    }
+    let reply = fsc.rpc(site, req.source, FsMsg::PullOpen { gfid: req.gfid })?;
+    let FsReply::PullInfo { info } = reply else {
+        return Err(Errno::Eio);
+    };
+    let gfid = req.gfid;
+
+    // Already current (or locally newer — a conflict for the merge
+    // procedure, not for propagation)?
+    {
+        let k = fsc.kernel(site);
+        if let Some(local) = k.local_info(gfid) {
+            if local.vv.covers(&info.vv) {
+                return Ok(());
+            }
+            if local.vv.compare(&info.vv).is_conflict() {
+                return Ok(());
+            }
+        }
+    }
+
+    if info.deleted {
+        let mut k = fsc.kernel(site);
+        let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+        if pack.inode(gfid.ino).is_some() {
+            let mut sess = ShadowSession::begin(pack, gfid.ino)?;
+            sess.mark_deleted();
+            sess.commit(pack, info.vv.clone())?;
+        } else {
+            pack.install_inode(gfid.ino, info.to_disk_inode(false));
+        }
+        return Ok(());
+    }
+
+    // Ensure a local inode exists, then pull pages into a shadow session.
+    // A container whose pack is not in the replica set only carries the
+    // inode information, never the pages (§2.2.2).
+    let mut sess = {
+        let mut k = fsc.kernel(site);
+        let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+        let metadata_only = !info.replicas.contains(&pack.origin());
+        if pack.inode(gfid.ino).is_none() {
+            pack.install_inode(gfid.ino, info.to_disk_inode(false));
+        }
+        if metadata_only {
+            let mut sess = ShadowSession::begin(pack, gfid.ino)?;
+            sess.set_size(info.size);
+            sess.set_perms(info.perms);
+            sess.set_owner(info.owner);
+            sess.set_nlink(info.nlink);
+            sess.set_replicas(info.replicas.clone());
+            sess.set_mtime(info.mtime);
+            sess.commit(pack, info.vv.clone())?;
+            drop(k);
+            fsc.with_kernel(site, |k| k.note_latest(gfid, &info.vv));
+            return Ok(());
+        }
+        ShadowSession::begin(pack, gfid.ino)?
+    };
+
+    let npages = info.page_count();
+    let incremental = fsc.kernel(site).stores_data(gfid);
+    let page_list: Vec<usize> = match (&req.pages, incremental) {
+        (Some(pages), true) => pages.iter().copied().filter(|&p| p < npages).collect(),
+        _ => (0..npages).collect(),
+    };
+
+    let mut failed = false;
+    for lpn in page_list {
+        match fsc.rpc(
+            site,
+            req.source,
+            FsMsg::ReadPage {
+                gfid,
+                lpn,
+                guess: 0,
+            },
+        ) {
+            Ok(FsReply::Page { data }) => {
+                let mut k = fsc.kernel(site);
+                let pack = k.pack_of(gfid.fg).expect("checked above");
+                // "When each page arrives, the buffer that contains it is
+                // renamed and sent out to secondary storage" — straight
+                // into the shadow session, no user-space copy.
+                if sess.write_page(pack, lpn, &data).is_err() {
+                    failed = true;
+                    break;
+                }
+            }
+            _ => {
+                failed = true;
+                break;
+            }
+        }
+    }
+
+    let mut k = fsc.kernel(site);
+    let pack = k.pack_of(gfid.fg).expect("checked above");
+    if failed {
+        sess.abort(pack)?;
+        return Err(Errno::Esitedown);
+    }
+    sess.truncate_pages(pack, npages)?;
+    sess.set_size(info.size);
+    sess.set_perms(info.perms);
+    sess.set_owner(info.owner);
+    sess.set_nlink(info.nlink);
+    sess.set_replicas(info.replicas.clone());
+    sess.set_mtime(info.mtime);
+    sess.set_data_here(true);
+    sess.commit(pack, info.vv.clone())?;
+    let pid = pack.id();
+    k.cache.invalidate_file(pid, gfid.ino);
+    k.cache
+        .invalidate_file(io::net_cache_pack(gfid.fg), gfid.ino);
+    k.note_latest(gfid, &info.vv);
+    Ok(())
+}

@@ -1,0 +1,314 @@
+//! Page read/write protocols, pipes and devices (§2.3.3, §2.3.5, §2.4.2).
+
+use locus_storage::PAGE_SIZE;
+use locus_types::{Errno, FilegroupId, Gfid, PackId, SiteId, SysResult};
+
+use crate::cluster::FsCluster;
+use crate::cost;
+use crate::device::{DeviceOp, DeviceReply};
+use crate::kernel::FsKernel;
+use crate::pipe::{PipeOp, PipeReply};
+use crate::proto::{FsMsg, FsReply};
+
+/// Sentinel pack id under which remotely fetched pages are cached at a
+/// using site (which holds no physical container for them).
+pub(crate) fn net_cache_pack(fg: FilegroupId) -> PackId {
+    PackId::new(fg, u32::MAX)
+}
+
+/// Reads one page at a site that stores the file, serving a writer's own
+/// uncommitted shadow pages when a modification session is open.
+pub(crate) fn local_read_page(k: &mut FsKernel, gfid: Gfid, lpn: usize) -> SysResult<Vec<u8>> {
+    if k.sessions.contains_key(&gfid) {
+        let sess = k.sessions.remove(&gfid).expect("checked above");
+        let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+        let r = sess.read_page(pack, lpn);
+        k.sessions.insert(gfid, sess);
+        return r;
+    }
+    let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+    pack.read_page(gfid.ino, lpn)
+}
+
+/// Reads one page locally *through the kernel buffer cache* ("all such
+/// requests are serviced via kernel buffers", §2.3.3). Open sessions are
+/// never cached (their pages change in place).
+pub(crate) fn cached_local_page(k: &mut FsKernel, gfid: Gfid, lpn: usize) -> SysResult<Vec<u8>> {
+    if !k.sessions.contains_key(&gfid) {
+        if let Some(pack_id) = k.pack_of(gfid.fg).map(|p| p.id()) {
+            if let Some(data) = k.cache.get(&(pack_id, gfid.ino, lpn)) {
+                return Ok(data);
+            }
+            let data = local_read_page(k, gfid, lpn)?;
+            k.cache.put((pack_id, gfid.ino, lpn), data.clone());
+            return Ok(data);
+        }
+    }
+    local_read_page(k, gfid, lpn)
+}
+
+/// Fetches one logical page for a US, through the cache; `npages` bounds
+/// the one-page readahead (§2.3.3).
+pub fn get_page(
+    fsc: &FsCluster,
+    us: SiteId,
+    gfid: Gfid,
+    ss: SiteId,
+    lpn: usize,
+    npages: usize,
+) -> SysResult<Vec<u8>> {
+    if ss == us {
+        let mut k = fsc.kernel(us);
+        let data = cached_local_page(&mut k, gfid, lpn)?;
+        let io = k
+            .pack_of(gfid.fg)
+            .map(|p| p.take_io_cost())
+            .unwrap_or_default();
+        // Local one-page readahead for sequential access.
+        if lpn + 1 < npages {
+            let _ = cached_local_page(&mut k, gfid, lpn + 1);
+            let _ = k.pack_of(gfid.fg).map(|p| p.take_io_cost());
+        }
+        drop(k);
+        fsc.net().charge_cpu(io + cost::PAGE_SERVICE_CPU);
+        return Ok(data);
+    }
+
+    // Remote page: check the network cache, then run the two-message read
+    // protocol ("US -> SS request for page x of file y; SS -> US response").
+    let key = (net_cache_pack(gfid.fg), gfid.ino, lpn);
+    if let Some(data) = fsc.kernel(us).cache.get(&key) {
+        // Buffer-cache hits still cost the copy out of the kernel buffer.
+        fsc.net().charge_cpu(cost::PAGE_SERVICE_CPU);
+        return Ok(data);
+    }
+    fsc.net().charge_cpu(cost::REMOTE_SETUP_CPU);
+    let reply = fsc.rpc(
+        us,
+        ss,
+        FsMsg::ReadPage {
+            gfid,
+            lpn,
+            guess: 0,
+        },
+    )?;
+    let FsReply::Page { data } = reply else {
+        return Err(Errno::Eio);
+    };
+    fsc.kernel(us).cache.put(key, data.clone());
+    // Readahead "both at the SS, as well as across the network" (§2.3.3).
+    if lpn + 1 < npages {
+        let next_key = (net_cache_pack(gfid.fg), gfid.ino, lpn + 1);
+        let need = fsc.kernel(us).cache.get(&next_key).is_none();
+        if need {
+            if let Ok(FsReply::Page { data: next }) = fsc.rpc(
+                us,
+                ss,
+                FsMsg::ReadPage {
+                    gfid,
+                    lpn: lpn + 1,
+                    guess: 0,
+                },
+            ) {
+                fsc.kernel(us).cache.put(next_key, next);
+            }
+        }
+    }
+    Ok(data)
+}
+
+/// SS-side read handler.
+pub(crate) fn handle_read_page(
+    fsc: &FsCluster,
+    ss: SiteId,
+    gfid: Gfid,
+    lpn: usize,
+) -> SysResult<FsReply> {
+    let (data, io) = {
+        let mut k = fsc.kernel(ss);
+        let data = cached_local_page(&mut k, gfid, lpn)?;
+        let io = k
+            .pack_of(gfid.fg)
+            .map(|p| p.take_io_cost())
+            .unwrap_or_default();
+        (data, io)
+    };
+    fsc.net().charge_cpu(io + cost::PAGE_SERVICE_CPU);
+    Ok(FsReply::Page { data })
+}
+
+/// Writes one page into the file's open modification session at its SS,
+/// beginning the session on first touch.
+pub(crate) fn local_write_page(
+    k: &mut FsKernel,
+    gfid: Gfid,
+    lpn: usize,
+    data: &[u8],
+    new_size: u64,
+) -> SysResult<()> {
+    let mut sess = match k.sessions.remove(&gfid) {
+        Some(s) => s,
+        None => {
+            let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+            locus_storage::ShadowSession::begin(pack, gfid.ino)?
+        }
+    };
+    let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+    let r = if lpn == usize::MAX {
+        // Truncate control write: shrink to exactly `new_size` bytes.
+        let npages = (new_size as usize).div_ceil(PAGE_SIZE);
+        let r = sess.truncate_pages(pack, npages);
+        sess.set_size(new_size);
+        r
+    } else {
+        let r = sess.write_page(pack, lpn, data);
+        if r.is_ok() && new_size > sess.working().size {
+            sess.set_size(new_size);
+        }
+        r
+    };
+    k.sessions.insert(gfid, sess);
+    r
+}
+
+/// SS-side write handler (the one-message write protocol of §2.3.5).
+pub(crate) fn handle_write_page(
+    fsc: &FsCluster,
+    ss: SiteId,
+    gfid: Gfid,
+    lpn: usize,
+    data: &[u8],
+    new_size: u64,
+) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::PAGE_SERVICE_CPU);
+    let mut k = fsc.kernel(ss);
+    local_write_page(&mut k, gfid, lpn, data, new_size)?;
+    Ok(FsReply::Ok)
+}
+
+/// US-side page write: whole-page changes need no read; partial changes
+/// read the old page first via the read protocol (§2.3.5).
+pub fn put_page_range(
+    fsc: &FsCluster,
+    us: SiteId,
+    gfid: Gfid,
+    ss: SiteId,
+    offset: u64,
+    bytes: &[u8],
+    old_size: u64,
+) -> SysResult<u64> {
+    let mut written = 0usize;
+    let end = offset + bytes.len() as u64;
+    let mut pos = offset;
+    while pos < end {
+        let lpn = (pos / PAGE_SIZE as u64) as usize;
+        let page_start = lpn as u64 * PAGE_SIZE as u64;
+        let in_off = (pos - page_start) as usize;
+        let take = (PAGE_SIZE - in_off).min((end - pos) as usize);
+        let whole = in_off == 0 && take == PAGE_SIZE;
+        let mut page = if whole {
+            vec![0u8; PAGE_SIZE]
+        } else if page_start < old_size {
+            // "If the modification does not include the entire page, the
+            // old page is read from the SS using the read protocol."
+            let npages = (old_size as usize).div_ceil(PAGE_SIZE);
+            get_page(fsc, us, gfid, ss, lpn, npages.min(lpn + 1))?
+        } else {
+            vec![0u8; PAGE_SIZE]
+        };
+        page[in_off..in_off + take].copy_from_slice(&bytes[written..written + take]);
+        let new_size = (pos + take as u64).max(old_size);
+        if ss == us {
+            let mut k = fsc.kernel(us);
+            local_write_page(&mut k, gfid, lpn, &page, new_size)?;
+            drop(k);
+            fsc.net().charge_cpu(cost::PAGE_SERVICE_CPU);
+        } else {
+            fsc.one_way(
+                us,
+                ss,
+                FsMsg::WritePage {
+                    gfid,
+                    lpn,
+                    data: page,
+                    new_size,
+                },
+            )?;
+        }
+        // The page just written is stale in the US cache either way.
+        let mut k = fsc.kernel(us);
+        k.cache.invalidate_file(net_cache_pack(gfid.fg), gfid.ino);
+        if let Some(p) = k.pack_of(gfid.fg) {
+            let pid = p.id();
+            k.cache.invalidate_file(pid, gfid.ino);
+        }
+        drop(k);
+        written += take;
+        pos += take as u64;
+    }
+    Ok(end.max(old_size))
+}
+
+/// Routes a pipe operation to the pipe's home (storage) site.
+pub(crate) fn pipe_call(
+    fsc: &FsCluster,
+    site: SiteId,
+    home: SiteId,
+    gfid: Gfid,
+    op: PipeOp,
+) -> SysResult<PipeReply> {
+    let reply = if site == home {
+        handle_pipe_op(fsc, home, gfid, op)?
+    } else {
+        fsc.rpc(site, home, FsMsg::PipeOp { gfid, op })?
+    };
+    match reply {
+        FsReply::Pipe(r) => Ok(r),
+        _ => Err(Errno::Eio),
+    }
+}
+
+/// Pipe handler at the home site.
+pub(crate) fn handle_pipe_op(
+    fsc: &FsCluster,
+    home: SiteId,
+    gfid: Gfid,
+    op: PipeOp,
+) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let mut k = fsc.kernel(home);
+    let state = k.pipes.entry(gfid).or_default();
+    Ok(FsReply::Pipe(state.apply(op)))
+}
+
+/// Routes a device operation to the device's home site.
+pub(crate) fn device_call(
+    fsc: &FsCluster,
+    site: SiteId,
+    home: SiteId,
+    gfid: Gfid,
+    op: DeviceOp,
+) -> SysResult<DeviceReply> {
+    let reply = if site == home {
+        handle_device_op(fsc, home, gfid, op)?
+    } else {
+        fsc.rpc(site, home, FsMsg::DeviceOp { gfid, op })?
+    };
+    match reply {
+        FsReply::Device(r) => Ok(r),
+        _ => Err(Errno::Eio),
+    }
+}
+
+/// Device handler at the home site.
+pub(crate) fn handle_device_op(
+    fsc: &FsCluster,
+    home: SiteId,
+    gfid: Gfid,
+    op: DeviceOp,
+) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let mut k = fsc.kernel(home);
+    let dev = k.devices.get_mut(&gfid).ok_or(Errno::Enoent)?;
+    Ok(FsReply::Device(dev.apply(op)))
+}

@@ -1,0 +1,607 @@
+//! Pathname searching, create/delete and directory manipulation
+//! (§2.3.4, §2.3.7, §2.4.1).
+//!
+//! Pathnames are resolved one component at a time: each directory on the
+//! path is opened *internally* with an unsynchronized read — "no global
+//! locking is done … directory interrogation never sees an inconsistent
+//! picture" (§2.3.4) — its pages are read over the ordinary read protocol
+//! if remote, and the matching entry yields the inode number for the next
+//! step.
+//!
+//! A component resolving to a *hidden directory* is not returned to the
+//! caller; instead the per-process context names select an entry inside it
+//! (the `/bin/who` → `vax`/`45` mechanism of §2.4.1). Appending `@` to a
+//! component escapes the indirection and names the hidden directory
+//! itself.
+
+use locus_storage::PAGE_SIZE;
+use locus_types::{Errno, FileType, Gfid, Ino, OpenMode, Perms, SiteId, SysResult};
+
+use crate::cluster::FsCluster;
+use crate::cost;
+use crate::directory::Directory;
+use crate::mailbox::Mailbox;
+use crate::ops::io::{get_page, put_page_range};
+use crate::ops::open::{close_ticket, open_gfid};
+use crate::ops::{commit, OpenTicket};
+use crate::proto::{FsMsg, FsReply, InodeInfo, MetaUpdate, ProcFsCtx};
+
+/// Reads the entire contents of an already open file.
+pub(crate) fn read_all_via(fsc: &FsCluster, us: SiteId, t: &OpenTicket) -> SysResult<Vec<u8>> {
+    let size = t.info.size as usize;
+    let npages = size.div_ceil(PAGE_SIZE);
+    let mut out = Vec::with_capacity(size);
+    for lpn in 0..npages {
+        let page = get_page(fsc, us, t.gfid, t.ss, lpn, npages)?;
+        let take = (size - lpn * PAGE_SIZE).min(PAGE_SIZE);
+        out.extend_from_slice(&page[..take]);
+    }
+    Ok(out)
+}
+
+/// Opens, reads, and closes a file internally (directory interrogation).
+pub fn read_file_internal(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> SysResult<Vec<u8>> {
+    let t = open_gfid(fsc, us, gfid, OpenMode::InternalUnsyncRead)?;
+    let r = read_all_via(fsc, us, &t);
+    close_ticket(fsc, us, &t)?;
+    r
+}
+
+/// Opens `gfid` for modification, replaces its entire contents, commits
+/// and closes — the whole-file-overwrite pattern §2.3.6 says dominates
+/// Unix file modification.
+pub fn write_file_internal(fsc: &FsCluster, us: SiteId, gfid: Gfid, bytes: &[u8]) -> SysResult<()> {
+    let t = open_gfid(fsc, us, gfid, OpenMode::Write)?;
+    let r = (|| {
+        put_page_range(fsc, us, t.gfid, t.ss, 0, bytes, t.info.size)?;
+        truncate_session_to(fsc, us, &t, bytes.len() as u64)?;
+        commit::commit_at(fsc, us, t.gfid, t.ss, None)?;
+        Ok(())
+    })();
+    if r.is_err() {
+        let _ = commit::abort_at(fsc, us, t.gfid, t.ss);
+    }
+    close_ticket(fsc, us, &t)?;
+    r
+}
+
+/// Shrinks the open modification session to exactly `new_size` bytes.
+pub(crate) fn truncate_session_to(
+    fsc: &FsCluster,
+    us: SiteId,
+    t: &OpenTicket,
+    new_size: u64,
+) -> SysResult<()> {
+    let npages = (new_size as usize).div_ceil(PAGE_SIZE);
+    if us == t.ss {
+        truncate_local(fsc, us, t.gfid, npages, new_size)
+    } else {
+        // Reuse the write protocol with a zero-length sentinel: model the
+        // truncate as a one-message control write.
+        fsc.one_way(
+            us,
+            t.ss,
+            FsMsg::WritePage {
+                gfid: t.gfid,
+                lpn: usize::MAX,
+                data: Vec::new(),
+                new_size,
+            },
+        )?;
+        Ok(())
+    }
+}
+
+/// SS-local truncate of an open session.
+pub(crate) fn truncate_local(
+    fsc: &FsCluster,
+    ss: SiteId,
+    gfid: Gfid,
+    npages: usize,
+    new_size: u64,
+) -> SysResult<()> {
+    let mut k = fsc.kernel(ss);
+    let mut sess = match k.sessions.remove(&gfid) {
+        Some(s) => s,
+        None => {
+            let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+            locus_storage::ShadowSession::begin(pack, gfid.ino)?
+        }
+    };
+    let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+    let r = sess.truncate_pages(pack, npages);
+    sess.set_size(new_size);
+    k.sessions.insert(gfid, sess);
+    r
+}
+
+/// Runs a read-modify-write update on a directory file, preserving the
+/// atomic entry-operation semantics of §2.3.4.
+pub(crate) fn dir_update<R>(
+    fsc: &FsCluster,
+    us: SiteId,
+    dir: Gfid,
+    f: impl FnOnce(&mut Directory) -> SysResult<R>,
+) -> SysResult<R> {
+    let t = open_gfid(fsc, us, dir, OpenMode::Write)?;
+    if !t.info.ftype.is_directory_like() {
+        close_ticket(fsc, us, &t)?;
+        return Err(Errno::Enotdir);
+    }
+    let result = (|| {
+        let bytes = read_all_via(fsc, us, &t)?;
+        let mut d = Directory::parse(&bytes)?;
+        let r = f(&mut d)?;
+        let new = d.serialize();
+        put_page_range(fsc, us, t.gfid, t.ss, 0, &new, t.info.size)?;
+        truncate_session_to(fsc, us, &t, new.len() as u64)?;
+        commit::commit_at(fsc, us, t.gfid, t.ss, None)?;
+        Ok(r)
+    })();
+    if result.is_err() {
+        let _ = commit::abort_at(fsc, us, t.gfid, t.ss);
+    }
+    close_ticket(fsc, us, &t)?;
+    result
+}
+
+/// Reads a directory's live entries.
+pub fn readdir(
+    fsc: &FsCluster,
+    us: SiteId,
+    ctx: &ProcFsCtx,
+    path: &str,
+) -> SysResult<Vec<(String, Ino)>> {
+    let gfid = resolve(fsc, us, ctx, path)?;
+    let t = open_gfid(fsc, us, gfid, OpenMode::InternalUnsyncRead)?;
+    let r = (|| {
+        if !t.info.ftype.is_directory_like() {
+            return Err(Errno::Enotdir);
+        }
+        let bytes = read_all_via(fsc, us, &t)?;
+        let d = Directory::parse(&bytes)?;
+        Ok(d.live().map(|e| (e.name.clone(), e.ino)).collect())
+    })();
+    close_ticket(fsc, us, &t)?;
+    r
+}
+
+/// Stats a file by path.
+pub fn stat(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> SysResult<InodeInfo> {
+    let gfid = resolve(fsc, us, ctx, path)?;
+    stat_gfid(fsc, us, gfid)
+}
+
+/// Stats a file by global identifier.
+pub fn stat_gfid(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> SysResult<InodeInfo> {
+    let t = open_gfid(fsc, us, gfid, OpenMode::InternalUnsyncRead)?;
+    let info = t.info.clone();
+    close_ticket(fsc, us, &t)?;
+    Ok(info)
+}
+
+/// Splits a path into its parent directory path and final component.
+fn split_parent(path: &str) -> SysResult<(&str, &str)> {
+    let trimmed = path.trim_end_matches('/');
+    if trimmed.is_empty() {
+        return Err(Errno::Einval);
+    }
+    match trimmed.rfind('/') {
+        Some(pos) => Ok((&trimmed[..pos.max(1)], &trimmed[pos + 1..])),
+        None => Ok((".", trimmed)),
+    }
+}
+
+/// Resolves a pathname to a global file identifier (§2.3.4).
+pub fn resolve(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> SysResult<Gfid> {
+    let mut cur = if path.starts_with('/') {
+        fsc.kernel(us).mount.root()?
+    } else {
+        ctx.cwd
+    };
+    let mut trail: Vec<Gfid> = Vec::new();
+
+    for raw in path.split('/') {
+        if raw.is_empty() || raw == "." {
+            continue;
+        }
+        if raw == ".." {
+            cur = match trail.pop() {
+                Some(parent) => parent,
+                None => {
+                    // A relative walk starting at the cwd has no trail:
+                    // use the directory's own `..` entry (installed at
+                    // mkdir; the root points at itself).
+                    let t = open_gfid(fsc, us, cur, OpenMode::InternalUnsyncRead)?;
+                    let bytes = read_all_via(fsc, us, &t);
+                    close_ticket(fsc, us, &t)?;
+                    let dir = Directory::parse(&bytes?)?;
+                    let parent_ino = dir.lookup("..").ok_or(Errno::Enoent)?;
+                    Gfid::new(cur.fg, parent_ino)
+                }
+            };
+            continue;
+        }
+        let (name, escape) = match raw.strip_suffix('@') {
+            Some(stripped) if !stripped.is_empty() => (stripped, true),
+            _ => (raw, false),
+        };
+        fsc.net().charge_cpu(cost::DIR_SCAN_CPU);
+
+        // Open the directory internally and search it.
+        let t = open_gfid(fsc, us, cur, OpenMode::InternalUnsyncRead)?;
+        if !t.info.ftype.is_directory_like() {
+            close_ticket(fsc, us, &t)?;
+            return Err(Errno::Enotdir);
+        }
+        if !t.info.perms.owner_exec() {
+            close_ticket(fsc, us, &t)?;
+            return Err(Errno::Eacces);
+        }
+        let bytes = read_all_via(fsc, us, &t);
+        close_ticket(fsc, us, &t)?;
+        let dir = Directory::parse(&bytes?)?;
+        let ino = dir.lookup(name).ok_or(Errno::Enoent)?;
+        let mut next = Gfid::new(cur.fg, ino);
+
+        // Hidden-directory indirection (§2.4.1).
+        if !escape {
+            let info = stat_gfid(fsc, us, next)?;
+            if info.ftype == FileType::HiddenDirectory {
+                next = resolve_hidden(fsc, us, ctx, next)?;
+            }
+        }
+        trail.push(cur);
+        cur = fsc.kernel(us).mount.cross_mount_point(next);
+    }
+    Ok(cur)
+}
+
+/// Picks the context-matching entry inside a hidden directory: "if a
+/// hidden directory is found during pathname searching, it is examined for
+/// a match with the process's context" (§2.4.1).
+fn resolve_hidden(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, hidden: Gfid) -> SysResult<Gfid> {
+    let bytes = read_file_internal(fsc, us, hidden)?;
+    let dir = Directory::parse(&bytes)?;
+    for name in &ctx.contexts {
+        if let Some(ino) = dir.lookup(name) {
+            return Ok(Gfid::new(hidden.fg, ino));
+        }
+    }
+    Err(Errno::Enoent)
+}
+
+/// Chooses the initial storage sites for a new file (§2.3.7):
+/// every storage site must store the parent directory; the local site is
+/// used first if possible; then the parent's site selection with
+/// inaccessible sites last.
+pub(crate) fn place_replicas(
+    fsc: &FsCluster,
+    us: SiteId,
+    parent: &InodeInfo,
+    parent_fg: locus_types::FilegroupId,
+    ncopies: u32,
+) -> SysResult<Vec<u32>> {
+    let k = fsc.kernel(us);
+    let minfo = k.mount.get(parent_fg)?.clone();
+    drop(k);
+    let mut ordered: Vec<(u32, SiteId)> = Vec::new();
+    // Local pack first, if it stores the parent directory.
+    for idx in &parent.replicas {
+        if let Some(site) = minfo.site_of_pack(*idx) {
+            if site == us {
+                ordered.push((*idx, site));
+            }
+        }
+    }
+    // Then reachable parent replicas, then unreachable ones.
+    for reachable_pass in [true, false] {
+        for idx in &parent.replicas {
+            if let Some(site) = minfo.site_of_pack(*idx) {
+                if site == us || ordered.iter().any(|(i, _)| i == idx) {
+                    continue;
+                }
+                let ok = fsc.net().reachable(us, site);
+                if ok == reachable_pass {
+                    ordered.push((*idx, site));
+                }
+            }
+        }
+    }
+    if ordered.is_empty() {
+        return Err(Errno::Enocopy);
+    }
+    let n = (ncopies.max(1) as usize).min(ordered.len());
+    Ok(ordered.into_iter().take(n).map(|(i, _)| i).collect())
+}
+
+/// Creates a file and returns its identifier (entry inserted, copies
+/// scheduled for propagation). The companion open is the caller's job.
+pub fn create(
+    fsc: &FsCluster,
+    us: SiteId,
+    ctx: &ProcFsCtx,
+    path: &str,
+    ftype: FileType,
+    perms: Perms,
+) -> SysResult<Gfid> {
+    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    let (parent_path, name) = split_parent(path)?;
+    let dirg = resolve(fsc, us, ctx, parent_path)?;
+    let parent = stat_gfid(fsc, us, dirg)?;
+    if !parent.ftype.is_directory_like() {
+        return Err(Errno::Enotdir);
+    }
+    // Pipes and devices live at a single storage site.
+    let ncopies = match ftype {
+        FileType::Pipe | FileType::Device => 1,
+        _ => ctx.ncopies,
+    };
+    let replicas = place_replicas(fsc, us, &parent, dirg.fg, ncopies)?;
+
+    // Perform the create at the first storage site ("the create is done at
+    // one storage site and propagated to the other storage sites").
+    let creator_pack = replicas[0];
+    let creator_site = {
+        let k = fsc.kernel(us);
+        k.mount
+            .get(dirg.fg)?
+            .site_of_pack(creator_pack)
+            .ok_or(Errno::Enocopy)?
+    };
+    let (ino, info) = if creator_site == us {
+        match handle_create_at(
+            fsc,
+            us,
+            dirg.fg,
+            creator_pack,
+            ftype,
+            perms,
+            ctx.uid,
+            replicas.clone(),
+        )? {
+            FsReply::Created { ino, info } => (ino, info),
+            _ => return Err(Errno::Eio),
+        }
+    } else {
+        match fsc.rpc(
+            us,
+            creator_site,
+            FsMsg::CreateAt {
+                fg: dirg.fg,
+                pack_idx: creator_pack,
+                ftype,
+                perms,
+                owner: ctx.uid,
+                replicas: replicas.clone(),
+            },
+        )? {
+            FsReply::Created { ino, info } => (ino, info),
+            _ => return Err(Errno::Eio),
+        }
+    };
+    let gfid = Gfid::new(dirg.fg, ino);
+
+    // Notify the other containers so metadata copies materialize. The CSS
+    // learns immediately (it must make synchronization decisions for the
+    // new file); the rest is background work.
+    let (containers, css) = {
+        let k = fsc.kernel(us);
+        let m = k.mount.get(dirg.fg)?;
+        (m.containers.clone(), m.css)
+    };
+    let notify = || FsMsg::CommitNotify {
+        gfid,
+        vv: info.vv.clone(),
+        source: creator_site,
+        origin: creator_pack,
+        inode_only: true,
+        pages: None,
+        info: info.clone(),
+    };
+    if css != creator_site {
+        let _ = fsc.one_way(creator_site, css, notify());
+    }
+    for (_, site) in containers {
+        if site != creator_site && site != css {
+            let _ = fsc.one_way(creator_site, site, notify());
+        }
+    }
+
+    // Insert the name; undo the create if the name already exists.
+    if let Err(e) = dir_update(fsc, us, dirg, |d| d.insert(name, ino)) {
+        let _ = unlink_gfid(fsc, us, gfid);
+        return Err(e);
+    }
+
+    // A new directory needs its `.` and `..` entries.
+    if ftype.is_directory_like() {
+        dir_update(fsc, us, gfid, |d| {
+            d.insert(".", ino)?;
+            d.insert("..", dirg.ino)
+        })?;
+    }
+    Ok(gfid)
+}
+
+/// Storage-site create handler: allocates an inode number from the local
+/// pool ("the storage site allocates an inode number from a pool which is
+/// local to that physical container", §2.3.7).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_create_at(
+    fsc: &FsCluster,
+    at: SiteId,
+    fg: locus_types::FilegroupId,
+    pack_idx: u32,
+    ftype: FileType,
+    perms: Perms,
+    owner: u32,
+    replicas: Vec<u32>,
+) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let now = fsc.net().now();
+    let mut k = fsc.kernel(at);
+    let pack = k
+        .packs
+        .get_mut(&locus_types::PackId::new(fg, pack_idx))
+        .ok_or(Errno::Enocopy)?;
+    let ino = pack.alloc_ino()?;
+    let mut inode = locus_storage::DiskInode::new(ftype, perms, owner);
+    inode.replicas = replicas;
+    inode.mtime = now;
+    inode.vv.bump(pack.origin());
+    pack.install_inode(ino, inode);
+    let info = InodeInfo::from(pack.inode(ino).expect("just installed"));
+    Ok(FsReply::Created { ino, info })
+}
+
+/// Unlinks a path: removes the directory entry, and deletes the file when
+/// the last link goes ("the US marks the inode and does a commit",
+/// §2.3.7).
+pub fn unlink(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> SysResult<()> {
+    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    let (parent_path, name) = split_parent(path)?;
+    let dirg = resolve(fsc, us, ctx, parent_path)?;
+    let gfid = resolve(fsc, us, ctx, path)?;
+    let info = stat_gfid(fsc, us, gfid)?;
+    if info.ftype.is_directory_like() {
+        // rmdir semantics: only empty directories may go.
+        let bytes = read_file_internal(fsc, us, gfid)?;
+        let d = Directory::parse(&bytes)?;
+        let significant = d.live().filter(|e| e.name != "." && e.name != "..").count();
+        if significant > 0 {
+            return Err(Errno::Enotempty);
+        }
+    }
+    dir_update(fsc, us, dirg, |d| {
+        d.remove(name)?;
+        Ok(())
+    })?;
+    if info.nlink > 1 {
+        set_meta(
+            fsc,
+            us,
+            gfid,
+            MetaUpdate {
+                nlink: Some(info.nlink - 1),
+                ..Default::default()
+            },
+        )
+    } else {
+        unlink_gfid(fsc, us, gfid)
+    }
+}
+
+/// Marks a file deleted via open-modify-commit.
+pub(crate) fn unlink_gfid(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> SysResult<()> {
+    set_meta(
+        fsc,
+        us,
+        gfid,
+        MetaUpdate {
+            delete: true,
+            ..Default::default()
+        },
+    )
+}
+
+/// Applies an inode-only change (chmod/chown/link-count/delete) through
+/// the normal open → commit machinery.
+pub fn set_meta(fsc: &FsCluster, us: SiteId, gfid: Gfid, meta: MetaUpdate) -> SysResult<()> {
+    let t = open_gfid(fsc, us, gfid, OpenMode::Write)?;
+    let r = commit::commit_at(fsc, us, t.gfid, t.ss, Some(meta)).map(|_| ());
+    if r.is_err() {
+        let _ = commit::abort_at(fsc, us, t.gfid, t.ss);
+    }
+    close_ticket(fsc, us, &t)?;
+    r
+}
+
+/// Creates a hard link. Links cannot cross filegroups (classic Unix
+/// `EXDEV`).
+pub fn link(
+    fsc: &FsCluster,
+    us: SiteId,
+    ctx: &ProcFsCtx,
+    existing: &str,
+    newpath: &str,
+) -> SysResult<()> {
+    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    let target = resolve(fsc, us, ctx, existing)?;
+    let info = stat_gfid(fsc, us, target)?;
+    if info.ftype.is_directory_like() {
+        return Err(Errno::Eisdir);
+    }
+    let (parent_path, name) = split_parent(newpath)?;
+    let dirg = resolve(fsc, us, ctx, parent_path)?;
+    if dirg.fg != target.fg {
+        return Err(Errno::Exdev);
+    }
+    dir_update(fsc, us, dirg, |d| d.insert(name, target.ino))?;
+    set_meta(
+        fsc,
+        us,
+        target,
+        MetaUpdate {
+            nlink: Some(info.nlink + 1),
+            ..Default::default()
+        },
+    )
+}
+
+/// Renames within one filegroup. The destination must not exist.
+pub fn rename(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, from: &str, to: &str) -> SysResult<()> {
+    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    let target = resolve(fsc, us, ctx, from)?;
+    let (from_parent, from_name) = split_parent(from)?;
+    let (to_parent, to_name) = split_parent(to)?;
+    let from_dir = resolve(fsc, us, ctx, from_parent)?;
+    let to_dir = resolve(fsc, us, ctx, to_parent)?;
+    if from_dir.fg != to_dir.fg {
+        return Err(Errno::Exdev);
+    }
+    if from_dir == to_dir {
+        return dir_update(fsc, us, from_dir, |d| d.rename(from_name, to_name));
+    }
+    dir_update(fsc, us, to_dir, |d| d.insert(to_name, target.ino))?;
+    dir_update(fsc, us, from_dir, |d| {
+        d.remove(from_name)?;
+        Ok(())
+    })
+}
+
+/// Delivers a mail message to `uid`'s mailbox (`/mail/u<uid>`), creating
+/// the mailbox if needed. Recovery notifies file owners this way (§4.6).
+pub fn deliver_mail(fsc: &FsCluster, us: SiteId, uid: u32, body: &str) -> SysResult<()> {
+    let ctx = ProcFsCtx {
+        cwd: fsc.kernel(us).mount.root()?,
+        contexts: Vec::new(),
+        ncopies: u32::MAX,
+        uid,
+    };
+    if resolve(fsc, us, &ctx, "/mail") == Err(Errno::Enoent) {
+        match create(
+            fsc,
+            us,
+            &ctx,
+            "/mail",
+            FileType::Directory,
+            Perms::DIR_DEFAULT,
+        ) {
+            Ok(_) | Err(Errno::Eexist) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let path = format!("/mail/u{uid}");
+    let gfid = match resolve(fsc, us, &ctx, &path) {
+        Ok(g) => g,
+        Err(Errno::Enoent) => create(fsc, us, &ctx, &path, FileType::Mailbox, Perms::FILE_DEFAULT)?,
+        Err(e) => return Err(e),
+    };
+    let seq = fsc.mail_seq.get();
+    fsc.mail_seq.set(seq + 1);
+    let bytes = read_file_internal(fsc, us, gfid)?;
+    let mut mb = Mailbox::parse(&bytes)?;
+    mb.insert(Mailbox::message_id(us.0, seq), body);
+    write_file_internal(fsc, us, gfid, &mb.serialize())
+}

@@ -1,0 +1,368 @@
+//! The open and close protocols (§2.3.3, Figure 2).
+//!
+//! The general open involves all three logical sites:
+//!
+//! ```text
+//! US  --> CSS   OPEN request
+//! CSS --> SS    request for storage site
+//! SS  --> CSS   response to previous message
+//! CSS --> US    response to first message
+//! ```
+//!
+//! with two optimizations: if the US's own copy is the latest version the
+//! CSS "selects the US as the SS and just responds"; and if the CSS itself
+//! stores the latest version "the CSS picks itself as SS (without any
+//! message overhead)".
+
+use locus_types::{Errno, Gfid, OpenMode, SiteId, SysResult, VersionVector};
+
+use crate::cluster::FsCluster;
+use crate::cost;
+use crate::ops::OpenTicket;
+use crate::proto::{FsMsg, FsReply, InodeInfo};
+
+/// Opens `gfid` from site `us` in the given mode, running the full
+/// distributed open protocol.
+pub fn open_gfid(fsc: &FsCluster, us: SiteId, gfid: Gfid, mode: OpenMode) -> SysResult<OpenTicket> {
+    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    if !fsc.net().is_up(us) {
+        return Err(Errno::Esitedown);
+    }
+
+    // §2.3.4: a local directory with no pending propagations is searched
+    // without informing the CSS.
+    if mode == OpenMode::InternalUnsyncRead {
+        let mut k = fsc.kernel(us);
+        let pending = k.prop_queue.iter().any(|r| r.gfid == gfid);
+        if !pending && k.stores_data(gfid) {
+            let info = k.local_info(gfid).expect("stores_data implies inode");
+            if info.deleted {
+                return Err(Errno::Enoent);
+            }
+            k.incore_mut(gfid, info.clone()).opens_here += 1;
+            return Ok(OpenTicket {
+                gfid,
+                ss: us,
+                write: false,
+                bypass: true,
+                unsync: true,
+                info,
+            });
+        }
+    }
+
+    let (css, us_vv) = {
+        let k = fsc.kernel(us);
+        let css = k.mount.css_of(gfid.fg)?;
+        let us_vv = if k.stores_data(gfid) {
+            k.local_info(gfid).map(|i| i.vv)
+        } else {
+            None
+        };
+        (css, us_vv)
+    };
+
+    // "If the local site is the CSS, only a procedure call is needed"
+    // (§2.3.3).
+    let reply = if css == us {
+        handle_css_open(fsc, css, gfid, mode, us_vv, us)?
+    } else {
+        fsc.rpc(
+            us,
+            css,
+            FsMsg::OpenReq {
+                gfid,
+                mode,
+                us_vv,
+                us,
+            },
+        )?
+    };
+    let FsReply::Opened { ss, info } = reply else {
+        return Err(Errno::Eio);
+    };
+
+    // "The response from the CSS is used to complete the incore inode
+    // information at the US" (§2.3.3); if the US is the SS, the local disk
+    // inode is authoritative.
+    let mut k = fsc.kernel(us);
+    let info = if ss == us {
+        k.local_info(gfid).unwrap_or(info)
+    } else {
+        info
+    };
+    // Validate remotely cached buffers against the version being opened
+    // (the page-valid check): pages fetched under an older version are
+    // dropped before this open reads anything.
+    if ss != us {
+        let fresh = match k.cache_vv.get(&gfid) {
+            Some(v) => *v == info.vv,
+            None => false,
+        };
+        if !fresh {
+            k.cache
+                .invalidate_file(crate::ops::io::net_cache_pack(gfid.fg), gfid.ino);
+            k.cache_vv.insert(gfid, info.vv.clone());
+        }
+    }
+    let inc = k.incore_mut(gfid, info.clone());
+    inc.info = info.clone();
+    inc.opens_here += 1;
+    inc.ss = Some(ss);
+    if mode.is_write() {
+        inc.writing = true;
+    }
+    Ok(OpenTicket {
+        gfid,
+        ss,
+        write: mode.is_write(),
+        bypass: false,
+        unsync: !mode.synchronized(),
+        info,
+    })
+}
+
+/// CSS-side open handling: synchronization check and storage-site
+/// selection (§2.3.3).
+pub(crate) fn handle_css_open(
+    fsc: &FsCluster,
+    css: SiteId,
+    gfid: Gfid,
+    mode: OpenMode,
+    us_vv: Option<VersionVector>,
+    us: SiteId,
+) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let (latest, local_info, candidates) = {
+        let mut k = fsc.kernel(css);
+        let minfo = k.mount.get(gfid.fg)?.clone();
+        let local = k.local_info(gfid).ok_or(Errno::Enoent)?;
+        if local.deleted {
+            return Err(Errno::Enoent);
+        }
+        if local.conflict && mode.synchronized() {
+            // §4.6: files with unresolved conflicts refuse normal access.
+            return Err(Errno::Econflict);
+        }
+        if mode.is_write() {
+            // Single-writer synchronization policy: the writing site "would
+            // be kept incore at the CSS" (§2.3.3).
+            if let Some(inc) = k.incore_get(gfid) {
+                if let Some(cs) = &inc.css {
+                    if cs.writer.is_some() {
+                        return Err(Errno::Etxtbsy);
+                    }
+                }
+            }
+        }
+        let latest = k.known_latest(gfid);
+        let mut candidates = Vec::new();
+        for idx in &local.replicas {
+            if let Some(site) = minfo.site_of_pack(*idx) {
+                if site != us && site != css && !candidates.contains(&site) {
+                    candidates.push(site);
+                }
+            }
+        }
+        (latest, local, candidates)
+    };
+
+    // Optimization 1: the US already stores the latest version — "the CSS
+    // selects the US as the SS and just responds appropriately".
+    if let Some(us_vv) = &us_vv {
+        if us_vv.covers(&latest) {
+            register_open(fsc, css, gfid, us, us, mode, &local_info)?;
+            return Ok(FsReply::Opened {
+                ss: us,
+                info: local_info,
+            });
+        }
+    }
+
+    // Optimization 2: the CSS stores the latest version and picks itself
+    // "without any message overhead".
+    let css_has_latest = {
+        let k = fsc.kernel(css);
+        k.stores_data(gfid) && local_info.vv.covers(&latest)
+    };
+    if css_has_latest {
+        register_open(fsc, css, gfid, us, css, mode, &local_info)?;
+        if us != css {
+            let mut k = fsc.kernel(css);
+            k.incore_mut(gfid, local_info.clone()).serving.insert(us);
+        }
+        return Ok(FsReply::Opened {
+            ss: css,
+            info: local_info,
+        });
+    }
+
+    // General case: poll potential storage sites (§2.3.3). Inaccessible
+    // sites are simply skipped — polls to them would time out.
+    for cand in candidates {
+        if !fsc.net().reachable(css, cand) {
+            continue;
+        }
+        let poll = FsMsg::SsPoll {
+            gfid,
+            latest: latest.clone(),
+            us,
+            write: mode.is_write(),
+        };
+        match fsc.rpc(css, cand, poll) {
+            Ok(FsReply::SsAccept { info }) => {
+                register_open(fsc, css, gfid, us, cand, mode, &info)?;
+                return Ok(FsReply::Opened { ss: cand, info });
+            }
+            Ok(_) | Err(_) => continue,
+        }
+    }
+    Err(Errno::Enocopy)
+}
+
+/// Registers a granted open in the CSS synchronization state.
+fn register_open(
+    fsc: &FsCluster,
+    css: SiteId,
+    gfid: Gfid,
+    us: SiteId,
+    ss: SiteId,
+    mode: OpenMode,
+    info: &InodeInfo,
+) -> SysResult<()> {
+    if !mode.synchronized() {
+        return Ok(()); // directory interrogation takes no global locks
+    }
+    let mut k = fsc.kernel(css);
+    k.incore_mut(gfid, info.clone())
+        .css_mut()
+        .register(us, ss, mode)
+}
+
+/// Candidate-SS poll handler: accept if this site stores the latest
+/// version, refuse otherwise (§2.3.3).
+pub(crate) fn handle_ss_poll(
+    fsc: &FsCluster,
+    cand: SiteId,
+    gfid: Gfid,
+    latest: &VersionVector,
+    us: SiteId,
+    _write: bool,
+) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let mut k = fsc.kernel(cand);
+    let Some(info) = k.local_info(gfid) else {
+        return Ok(FsReply::SsRefuse);
+    };
+    if info.deleted || !k.stores_data(gfid) || !info.vv.covers(latest) {
+        return Ok(FsReply::SsRefuse);
+    }
+    k.incore_mut(gfid, info.clone()).serving.insert(us);
+    Ok(FsReply::SsAccept { info })
+}
+
+/// Closes an open obtained from [`open_gfid`].
+pub fn close_ticket(fsc: &FsCluster, us: SiteId, t: &OpenTicket) -> SysResult<()> {
+    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    let last = {
+        let mut k = fsc.kernel(us);
+        let inc = k.incore_get(t.gfid).ok_or(Errno::Ebadf)?;
+        inc.opens_here = inc.opens_here.saturating_sub(1);
+        if t.write {
+            inc.writing = false;
+        }
+        let last = inc.opens_here == 0;
+        if last {
+            inc.ss = None;
+        }
+        last
+    };
+
+    // "If this is not the last close of the file at this US, only local
+    // state information need be updated" (§2.3.3); CSS-bypassing
+    // unsynchronized opens have no remote state either.
+    if t.bypass || !last {
+        fsc.with_kernel(us, |k| k.maybe_release_incore(t.gfid));
+        return Ok(());
+    }
+
+    if t.ss == us {
+        ss_side_close(fsc, us, t.gfid, us, t.write, t.unsync)?;
+    } else {
+        // Site failures mid-close degrade to the cleanup path (§5.6).
+        let _ = fsc.rpc(
+            us,
+            t.ss,
+            FsMsg::Close {
+                gfid: t.gfid,
+                us,
+                write: t.write,
+            },
+        );
+    }
+    fsc.with_kernel(us, |k| k.maybe_release_incore(t.gfid));
+    Ok(())
+}
+
+/// SS-side close handler (first leg of the four-message close).
+pub(crate) fn handle_close(
+    fsc: &FsCluster,
+    ss: SiteId,
+    gfid: Gfid,
+    us: SiteId,
+    write: bool,
+) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    {
+        let mut k = fsc.kernel(ss);
+        if let Some(inc) = k.incore_get(gfid) {
+            inc.serving.remove(&us);
+        }
+    }
+    ss_side_close(fsc, ss, gfid, us, write, false)?;
+    Ok(FsReply::Ok)
+}
+
+/// Common SS-side close continuation: notify the CSS "so they can
+/// deallocate incore inode structures and so the CSS can alter state data
+/// which might affect its next synchronization policy decision" (§2.3.3).
+fn ss_side_close(
+    fsc: &FsCluster,
+    ss: SiteId,
+    gfid: Gfid,
+    us: SiteId,
+    write: bool,
+    unsync: bool,
+) -> SysResult<()> {
+    let css = fsc.kernel(ss).mount.css_of(gfid.fg)?;
+    if !unsync {
+        if css == ss {
+            let _ = handle_ss_close(fsc, css, gfid, us, write);
+        } else {
+            // The CSS may have dropped out of the partition; the cleanup
+            // procedure rebuilds its lock table (§5.6).
+            let _ = fsc.rpc(ss, css, FsMsg::SsClose { gfid, us, write });
+        }
+    }
+    fsc.with_kernel(ss, |k| k.maybe_release_incore(gfid));
+    Ok(())
+}
+
+/// CSS-side close handler: releases synchronization state.
+pub(crate) fn handle_ss_close(
+    fsc: &FsCluster,
+    css: SiteId,
+    gfid: Gfid,
+    us: SiteId,
+    write: bool,
+) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let mut k = fsc.kernel(css);
+    if let Some(inc) = k.incore_get(gfid) {
+        if let Some(cs) = inc.css.as_mut() {
+            cs.deregister(us, write);
+        }
+    }
+    k.maybe_release_incore(gfid);
+    Ok(FsReply::Ok)
+}

@@ -1,0 +1,44 @@
+//! The virtual clock all simulated costs are charged to.
+
+use locus_types::Ticks;
+
+/// A monotonically advancing virtual clock.
+///
+/// The simulation is single-threaded; each message transmission, disk
+/// transfer or kernel CPU burst advances the clock by its modelled cost,
+/// so elapsed virtual time of an operation is `now() - start`.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: Ticks,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Ticks {
+        self.now
+    }
+
+    /// Advances the clock by `span`.
+    pub fn advance(&mut self, span: Ticks) {
+        self.now += span;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), Ticks::ZERO);
+        c.advance(Ticks::micros(5));
+        c.advance(Ticks::micros(7));
+        assert_eq!(c.now(), Ticks::micros(12));
+    }
+}

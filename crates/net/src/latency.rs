@@ -1,0 +1,96 @@
+//! Message latency model.
+//!
+//! The paper stresses that LOCUS owes much of its performance to
+//! *specialized* kernel-to-kernel protocols: "Because multilayered support
+//! and error handling, such as suggested by the ISO standard, is not
+//! present, much higher performance has been achieved" (§2.3.3 fn). The
+//! model therefore separates the fixed per-message protocol-processing cost
+//! (the knob the layering ablation turns) from the wire cost.
+
+use locus_types::Ticks;
+
+/// Per-message cost model: `fixed + bytes / bytes_per_tick`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed per-message cost: protocol processing at both ends plus
+    /// propagation. This is what a layered protocol stack inflates.
+    pub fixed: Ticks,
+    /// Wire throughput in bytes per tick (bytes per microsecond).
+    pub bytes_per_tick: u64,
+}
+
+impl LatencyModel {
+    /// Calibrated to the paper's testbed: 10 Mbit/s Ethernet (1.25
+    /// bytes/us) with a ~1 ms specialized-protocol processing cost per
+    /// message (consistent with [GOLD 83]-era kernel path lengths on a
+    /// VAX-11/750).
+    pub const fn ethernet_1983() -> Self {
+        LatencyModel {
+            fixed: Ticks::micros(1_000),
+            bytes_per_tick: 1,
+        }
+    }
+
+    /// The same wire with an ISO-style layered protocol stack: each message
+    /// pays several additional layers of processing (used only by the
+    /// layering ablation, DESIGN.md §4.4).
+    pub const fn layered_stack() -> Self {
+        LatencyModel {
+            fixed: Ticks::micros(5_000),
+            bytes_per_tick: 1,
+        }
+    }
+
+    /// A 1 Mbit ring, the original PDP-11 development network.
+    pub const fn ring_1mbit() -> Self {
+        LatencyModel {
+            fixed: Ticks::micros(1_500),
+            bytes_per_tick: 8, // one byte per 8 us
+        }
+    }
+
+    /// Cost of one message carrying `bytes` of payload.
+    pub fn message_cost(&self, bytes: usize) -> Ticks {
+        let wire = if self.bytes_per_tick <= 1 {
+            // One or fewer bytes per tick: multiply.
+            Ticks::micros(bytes as u64 * self.bytes_per_tick.max(1))
+        } else {
+            Ticks::micros(bytes as u64 * self.bytes_per_tick)
+        };
+        self.fixed + wire
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::ethernet_1983()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_with_size() {
+        let m = LatencyModel::ethernet_1983();
+        let small = m.message_cost(64);
+        let page = m.message_cost(4096);
+        assert!(page > small);
+        assert_eq!(small, Ticks::micros(1_064));
+    }
+
+    #[test]
+    fn layered_stack_is_slower() {
+        let fast = LatencyModel::ethernet_1983();
+        let slow = LatencyModel::layered_stack();
+        assert!(slow.message_cost(64) > fast.message_cost(64));
+    }
+
+    #[test]
+    fn ring_is_slower_per_byte() {
+        let ring = LatencyModel::ring_1mbit();
+        let ether = LatencyModel::ethernet_1983();
+        assert!(ring.message_cost(4096) > ether.message_cost(4096));
+    }
+}

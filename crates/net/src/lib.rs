@@ -1,0 +1,373 @@
+//! The simulated LOCUS network substrate.
+//!
+//! The original system ran on a 10 Mbit broadcast Ethernet with specialized
+//! kernel-to-kernel protocols ("no acknowledgements, flow control or any
+//! other underlying mechanism", §2.3.3 fn). This crate reproduces the
+//! *properties* that matter to the paper's evaluation:
+//!
+//! * a reachability matrix with **enforced transitivity** (§5.1: the
+//!   high-level protocols assume that if A talks to B and B to C then A
+//!   talks to C; the low-level machinery guarantees it) — reachability is
+//!   computed over connected components of live links;
+//! * **virtual circuits** that deliver in order and are closed by partition
+//!   changes, aborting ongoing activity (§5.1);
+//! * a **virtual clock** and a latency model calibrated to a 1983 Ethernet,
+//!   so experiment harnesses can report simulated elapsed time;
+//! * per-message-type **statistics** and a **protocol trace** from which
+//!   the Figure 1 / Figure 2 message sequences are regenerated.
+//!
+//! All state is behind interior mutability so a `&Net` can be threaded
+//! through nested simulated remote procedure calls.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod clock;
+pub mod latency;
+pub mod stats;
+pub mod topology;
+pub mod trace;
+
+use std::cell::RefCell;
+
+use locus_types::{SiteId, Ticks};
+
+pub use circuit::CircuitTable;
+pub use clock::VirtualClock;
+pub use latency::LatencyModel;
+pub use stats::NetStats;
+pub use topology::Topology;
+pub use trace::{Trace, TraceEvent};
+
+/// Errors surfaced by the network layer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetError {
+    /// Destination site is crashed or in a different partition.
+    Unreachable,
+    /// The virtual circuit to the destination was closed mid-conversation
+    /// (partition change while an operation was in flight, §5.1).
+    CircuitClosed,
+    /// A site attempted to send a network message to itself; local service
+    /// must be performed by direct procedure call (§2.3.3).
+    SelfSend,
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            NetError::Unreachable => "destination unreachable",
+            NetError::CircuitClosed => "virtual circuit closed",
+            NetError::SelfSend => "network send to self",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The simulated network: topology + circuits + clock + accounting.
+///
+/// # Examples
+///
+/// ```
+/// use locus_net::Net;
+/// use locus_types::SiteId;
+///
+/// let net = Net::new(3);
+/// net.send(SiteId(0), SiteId(1), "OPEN req", 64).unwrap();
+/// net.partition(&[vec![SiteId(0)], vec![SiteId(1), SiteId(2)]]);
+/// assert!(net.send(SiteId(0), SiteId(1), "OPEN req", 64).is_err());
+/// ```
+pub struct Net {
+    inner: RefCell<Inner>,
+}
+
+struct Inner {
+    topology: Topology,
+    circuits: CircuitTable,
+    clock: VirtualClock,
+    latency: LatencyModel,
+    stats: NetStats,
+    trace: Trace,
+}
+
+impl Net {
+    /// Creates a fully connected network of `n` sites with the default
+    /// latency model.
+    pub fn new(n: usize) -> Self {
+        Net::with_latency(n, LatencyModel::ethernet_1983())
+    }
+
+    /// Creates a network with a custom latency model.
+    pub fn with_latency(n: usize, latency: LatencyModel) -> Self {
+        Net {
+            inner: RefCell::new(Inner {
+                topology: Topology::new(n),
+                circuits: CircuitTable::new(),
+                clock: VirtualClock::new(),
+                latency,
+                stats: NetStats::new(),
+                trace: Trace::new(),
+            }),
+        }
+    }
+
+    /// Number of sites (live or not).
+    pub fn site_count(&self) -> usize {
+        self.inner.borrow().topology.site_count()
+    }
+
+    /// Sends one message of `bytes` payload from `from` to `to`.
+    ///
+    /// On success the virtual clock advances by the message latency, the
+    /// per-kind statistics are updated and a trace event is recorded. A
+    /// failed send (unreachable destination) closes any circuit between the
+    /// pair and is counted separately; timeout accounting is the caller's
+    /// policy.
+    pub fn send(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        kind: &'static str,
+        bytes: usize,
+    ) -> Result<(), NetError> {
+        let mut g = self.inner.borrow_mut();
+        if from == to {
+            return Err(NetError::SelfSend);
+        }
+        if !g.topology.can_communicate(from, to) {
+            g.circuits.close_pair(from, to);
+            g.stats.record_failure(kind);
+            return Err(NetError::Unreachable);
+        }
+        g.circuits.ensure_open(from, to);
+        let cost = g.latency.message_cost(bytes);
+        g.clock.advance(cost);
+        let now = g.clock.now();
+        g.stats.record(kind, bytes);
+        g.trace.record(TraceEvent {
+            at: now,
+            from,
+            to,
+            kind,
+            bytes,
+        });
+        Ok(())
+    }
+
+    /// Accounts local (same-site) kernel work of `cost` ticks; used by the
+    /// simulated kernels so CPU time shows up on the same clock as wire
+    /// time.
+    pub fn charge_cpu(&self, cost: Ticks) {
+        self.inner.borrow_mut().clock.advance(cost);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Ticks {
+        self.inner.borrow().clock.now()
+    }
+
+    /// Whether `from` can currently communicate with `to` (both up, same
+    /// connected component; a site always reaches itself while up).
+    pub fn reachable(&self, from: SiteId, to: SiteId) -> bool {
+        self.inner.borrow().topology.can_communicate(from, to) || (from == to && self.is_up(from))
+    }
+
+    /// Whether the site is up.
+    pub fn is_up(&self, site: SiteId) -> bool {
+        self.inner.borrow().topology.is_up(site)
+    }
+
+    /// All sites currently in `site`'s partition (including itself), in
+    /// site order. Empty if the site is down.
+    pub fn partition_of(&self, site: SiteId) -> Vec<SiteId> {
+        self.inner.borrow().topology.partition_of(site)
+    }
+
+    /// The current partitions (connected components of live sites).
+    pub fn partitions(&self) -> Vec<Vec<SiteId>> {
+        self.inner.borrow().topology.components()
+    }
+
+    /// Splits the network into the given groups: links inside a group are
+    /// restored, links across groups are cut. Circuits across groups close.
+    pub fn partition(&self, groups: &[Vec<SiteId>]) {
+        let mut g = self.inner.borrow_mut();
+        g.topology.set_partition(groups);
+        let topo = &g.topology;
+        let mut to_close = Vec::new();
+        g.circuits.for_each_open(|a, b| {
+            if !topo.can_communicate(a, b) {
+                to_close.push((a, b));
+            }
+        });
+        for (a, b) in to_close {
+            g.circuits.close_pair(a, b);
+            g.stats.circuits_closed += 1;
+        }
+    }
+
+    /// Restores full connectivity among all live sites.
+    pub fn heal(&self) {
+        self.inner.borrow_mut().topology.heal();
+    }
+
+    /// Cuts the single link between two sites (circuits between them close).
+    /// Note reachability is transitive, so the pair may still communicate
+    /// through a third site.
+    pub fn cut_link(&self, a: SiteId, b: SiteId) {
+        let mut g = self.inner.borrow_mut();
+        g.topology.set_link(a, b, false);
+        g.circuits.close_pair(a, b);
+        g.stats.circuits_closed += 1;
+    }
+
+    /// Restores the link between two sites.
+    pub fn restore_link(&self, a: SiteId, b: SiteId) {
+        self.inner.borrow_mut().topology.set_link(a, b, true);
+    }
+
+    /// Crashes a site: all its circuits close and nothing reaches it.
+    pub fn crash(&self, site: SiteId) {
+        let mut g = self.inner.borrow_mut();
+        g.topology.set_up(site, false);
+        let closed = g.circuits.close_involving(site);
+        g.stats.circuits_closed += closed;
+    }
+
+    /// Brings a crashed site back up (with its previous links intact).
+    pub fn revive(&self, site: SiteId) {
+        self.inner.borrow_mut().topology.set_up(site, true);
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> NetStats {
+        self.inner.borrow().stats.clone()
+    }
+
+    /// Resets message statistics (the topology, clock and trace persist).
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().stats = NetStats::new();
+    }
+
+    /// Enables or disables trace recording.
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.borrow_mut().trace.set_enabled(on);
+    }
+
+    /// Drains and returns the recorded trace events.
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.inner.borrow_mut().trace.take()
+    }
+
+    /// The latency model in force.
+    pub fn latency(&self) -> LatencyModel {
+        self.inner.borrow().latency
+    }
+
+    /// Replaces the latency model (used by the layering-ablation bench).
+    pub fn set_latency(&self, latency: LatencyModel) {
+        self.inner.borrow_mut().latency = latency;
+    }
+
+    /// Charges a timeout delay to the virtual clock (a poll that never got
+    /// an answer still costs wall-clock time, §5.5).
+    pub fn charge_timeout(&self, span: Ticks) {
+        self.inner.borrow_mut().clock.advance(span);
+    }
+
+    /// Number of currently open virtual circuits.
+    pub fn open_circuits(&self) -> usize {
+        self.inner.borrow().circuits.open_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_advances_clock_and_counts() {
+        let net = Net::new(2);
+        let t0 = net.now();
+        net.send(SiteId(0), SiteId(1), "READ req", 32).unwrap();
+        assert!(net.now() > t0);
+        assert_eq!(net.stats().sends("READ req"), 1);
+    }
+
+    #[test]
+    fn self_send_is_rejected() {
+        let net = Net::new(2);
+        assert_eq!(
+            net.send(SiteId(0), SiteId(0), "x", 0),
+            Err(NetError::SelfSend)
+        );
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let net = Net::new(4);
+        net.partition(&[vec![SiteId(0), SiteId(1)], vec![SiteId(2), SiteId(3)]]);
+        assert!(net.send(SiteId(0), SiteId(1), "x", 1).is_ok());
+        assert_eq!(
+            net.send(SiteId(1), SiteId(2), "x", 1),
+            Err(NetError::Unreachable)
+        );
+        net.heal();
+        assert!(net.send(SiteId(1), SiteId(2), "x", 1).is_ok());
+    }
+
+    #[test]
+    fn transitivity_survives_single_link_cut() {
+        // §5.4: a single communications failure must not fragment the
+        // network — sites 0 and 1 remain mutually reachable through 2.
+        let net = Net::new(3);
+        net.cut_link(SiteId(0), SiteId(1));
+        assert!(net.reachable(SiteId(0), SiteId(1)));
+        assert_eq!(net.partitions().len(), 1);
+    }
+
+    #[test]
+    fn crash_removes_site_from_partition() {
+        let net = Net::new(3);
+        net.crash(SiteId(2));
+        assert!(!net.reachable(SiteId(0), SiteId(2)));
+        assert_eq!(net.partition_of(SiteId(0)), vec![SiteId(0), SiteId(1)]);
+        assert!(net.partition_of(SiteId(2)).is_empty());
+        net.revive(SiteId(2));
+        assert!(net.reachable(SiteId(0), SiteId(2)));
+    }
+
+    #[test]
+    fn failed_send_closes_circuit_and_is_counted() {
+        let net = Net::new(2);
+        net.send(SiteId(0), SiteId(1), "x", 1).unwrap();
+        assert_eq!(net.open_circuits(), 1);
+        net.crash(SiteId(1));
+        assert_eq!(net.open_circuits(), 0);
+        assert!(net.send(SiteId(0), SiteId(1), "x", 1).is_err());
+        assert_eq!(net.stats().failures("x"), 1);
+    }
+
+    #[test]
+    fn trace_records_sequence() {
+        let net = Net::new(3);
+        net.set_tracing(true);
+        net.send(SiteId(0), SiteId(1), "OPEN req", 10).unwrap();
+        net.send(SiteId(1), SiteId(2), "SS poll", 10).unwrap();
+        let tr = net.take_trace();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[0].kind, "OPEN req");
+        assert!(tr[0].at < tr[1].at);
+    }
+
+    #[test]
+    fn reachability_requires_both_sites_up() {
+        let net = Net::new(2);
+        net.crash(SiteId(0));
+        assert!(!net.reachable(SiteId(0), SiteId(1)));
+        assert!(!net.reachable(SiteId(0), SiteId(0)));
+        assert!(net.reachable(SiteId(1), SiteId(1)));
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-message-kind network statistics.
+//!
+//! Message counts are the unit the paper's protocol descriptions are
+//! written in ("The protocol for a network read is thus: US -> SS … SS ->
+//! US", §2.3.3); the experiment harnesses regenerate those counts from
+//! these counters.
+
+use std::collections::BTreeMap;
+
+/// Counters of sends, bytes and failures, keyed by message kind label.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    sends: BTreeMap<&'static str, u64>,
+    bytes: BTreeMap<&'static str, u64>,
+    fails: BTreeMap<&'static str, u64>,
+    /// Circuits closed by partition changes or crashes.
+    pub circuits_closed: u64,
+}
+
+impl NetStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records a successful send.
+    pub fn record(&mut self, kind: &'static str, bytes: usize) {
+        *self.sends.entry(kind).or_insert(0) += 1;
+        *self.bytes.entry(kind).or_insert(0) += bytes as u64;
+    }
+
+    /// Records a failed send (unreachable destination).
+    pub fn record_failure(&mut self, kind: &'static str) {
+        *self.fails.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Successful sends of `kind`.
+    pub fn sends(&self, kind: &str) -> u64 {
+        self.sends.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Failed sends of `kind`.
+    pub fn failures(&self, kind: &str) -> u64 {
+        self.fails.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Bytes carried by successful sends of `kind`.
+    pub fn bytes(&self, kind: &str) -> u64 {
+        self.bytes.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total successful sends across all kinds.
+    pub fn total_sends(&self) -> u64 {
+        self.sends.values().sum()
+    }
+
+    /// Total bytes across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.values().sum()
+    }
+
+    /// Iterates `(kind, sends, bytes)` sorted by kind.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.sends
+            .iter()
+            .map(|(&k, &n)| (k, n, self.bytes.get(k).copied().unwrap_or(0)))
+    }
+
+    /// Message-count difference against an earlier snapshot; used to count
+    /// messages of a single operation.
+    pub fn delta_sends(&self, earlier: &NetStats) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for (&k, &n) in &self.sends {
+            let d = n - earlier.sends(k);
+            if d > 0 {
+                out.insert(k, d);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sums() {
+        let mut s = NetStats::new();
+        s.record("READ req", 32);
+        s.record("READ req", 32);
+        s.record("READ resp", 4096);
+        s.record_failure("OPEN req");
+        assert_eq!(s.sends("READ req"), 2);
+        assert_eq!(s.bytes("READ resp"), 4096);
+        assert_eq!(s.failures("OPEN req"), 1);
+        assert_eq!(s.total_sends(), 3);
+        assert_eq!(s.total_bytes(), 4160);
+    }
+
+    #[test]
+    fn delta_isolates_one_operation() {
+        let mut s = NetStats::new();
+        s.record("OPEN req", 64);
+        let snap = s.clone();
+        s.record("OPEN req", 64);
+        s.record("OPEN resp", 128);
+        let d = s.delta_sends(&snap);
+        assert_eq!(d.get("OPEN req"), Some(&1));
+        assert_eq!(d.get("OPEN resp"), Some(&1));
+        assert_eq!(d.len(), 2);
+    }
+}

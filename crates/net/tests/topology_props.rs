@@ -1,0 +1,121 @@
+//! Property tests for reachability: the transitive-closure guarantee of
+//! §5.1 ("if site A can communicate with site B, and site B with site C,
+//! then site A can communicate with site C") under arbitrary link cuts
+//! and crashes.
+
+use locus_net::Net;
+use locus_types::SiteId;
+use proptest::prelude::*;
+
+const N: u32 = 6;
+
+#[derive(Clone, Debug)]
+enum Fault {
+    Cut(u32, u32),
+    Restore(u32, u32),
+    Crash(u32),
+    Revive(u32),
+    Heal,
+}
+
+fn arb_fault() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0..N, 0..N).prop_map(|(a, b)| Fault::Cut(a, b)),
+        (0..N, 0..N).prop_map(|(a, b)| Fault::Restore(a, b)),
+        (0..N).prop_map(Fault::Crash),
+        (0..N).prop_map(Fault::Revive),
+        Just(Fault::Heal),
+    ]
+}
+
+fn apply(net: &Net, f: &Fault) {
+    match f {
+        Fault::Cut(a, b) if a != b => net.cut_link(SiteId(*a), SiteId(*b)),
+        Fault::Restore(a, b) if a != b => net.restore_link(SiteId(*a), SiteId(*b)),
+        Fault::Crash(s) => net.crash(SiteId(*s)),
+        Fault::Revive(s) => net.revive(SiteId(*s)),
+        Fault::Heal => net.heal(),
+        _ => {}
+    }
+}
+
+proptest! {
+    #[test]
+    fn reachability_is_an_equivalence_on_live_sites(faults in proptest::collection::vec(arb_fault(), 0..25)) {
+        let net = Net::new(N as usize);
+        for f in &faults {
+            apply(&net, f);
+        }
+        let sites: Vec<SiteId> = (0..N).map(SiteId).collect();
+        for &a in &sites {
+            for &b in &sites {
+                // Symmetry.
+                prop_assert_eq!(net.reachable(a, b) && a != b, net.reachable(b, a) && a != b);
+                for &c in &sites {
+                    // Transitivity (§5.1): A↔B and B↔C imply A↔C.
+                    if a != b && b != c && a != c && net.reachable(a, b) && net.reachable(b, c) {
+                        prop_assert!(net.reachable(a, c), "transitivity violated {a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_partition_the_live_sites(faults in proptest::collection::vec(arb_fault(), 0..25)) {
+        let net = Net::new(N as usize);
+        for f in &faults {
+            apply(&net, f);
+        }
+        let parts = net.partitions();
+        // Disjoint...
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &parts {
+            for s in p {
+                prop_assert!(seen.insert(*s), "{s} in two partitions");
+                prop_assert!(net.is_up(*s), "down site listed");
+            }
+        }
+        // ...and covering every live site.
+        for i in 0..N {
+            if net.is_up(SiteId(i)) {
+                prop_assert!(seen.contains(&SiteId(i)), "live {i} missing");
+            }
+        }
+        // Members of one partition are mutually reachable; across
+        // partitions they never are.
+        for (pi, p) in parts.iter().enumerate() {
+            for (qi, q) in parts.iter().enumerate() {
+                for &a in p {
+                    for &b in q {
+                        if a == b {
+                            continue;
+                        }
+                        prop_assert_eq!(net.reachable(a, b), pi == qi);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_then_revive_restores_reachability(a in 0..N, faults in proptest::collection::vec(arb_fault(), 0..10)) {
+        let net = Net::new(N as usize);
+        for f in &faults {
+            apply(&net, f);
+        }
+        net.crash(SiteId(a));
+        for i in 0..N {
+            if i != a {
+                prop_assert!(!net.reachable(SiteId(a), SiteId(i)));
+            }
+        }
+        net.revive(SiteId(a));
+        net.heal();
+        for i in 0..N {
+            if i != a && net.is_up(SiteId(i)) {
+                prop_assert!(net.reachable(SiteId(a), SiteId(i)));
+            }
+        }
+    }
+}

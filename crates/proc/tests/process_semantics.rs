@@ -1,0 +1,196 @@
+//! Process-layer semantics: environment inheritance, execution-site
+//! selection, signal and wait edge cases (§3).
+
+use locus_fs::ops::namei;
+use locus_fs::{FsCluster, FsClusterBuilder, ProcFsCtx};
+use locus_proc::{ExitStatus, ProcMgr, Signal};
+use locus_types::{Errno, FileType, MachineType, OpenMode, Perms, SiteId};
+
+fn s(i: u32) -> SiteId {
+    SiteId(i)
+}
+
+fn setup() -> (FsCluster, ProcMgr) {
+    let fsc = FsClusterBuilder::new()
+        .site(MachineType::Vax)
+        .site(MachineType::Vax)
+        .site(MachineType::Pdp11)
+        .filegroup("root", &[0, 1])
+        .build();
+    (fsc, ProcMgr::new())
+}
+
+fn install(fsc: &FsCluster, path: &str, body: &[u8]) {
+    let ctx = ProcFsCtx::new(fsc.kernel(s(0)).mount.root().unwrap(), MachineType::Vax);
+    let gfid = namei::create(fsc, s(0), &ctx, path, FileType::Untyped, Perms::DIR_DEFAULT).unwrap();
+    namei::write_file_internal(fsc, s(0), gfid, body).unwrap();
+    fsc.settle();
+}
+
+#[test]
+fn child_inherits_context_and_replication_factor() {
+    let (fsc, pm) = setup();
+    let parent = pm.spawn_init(&fsc, s(0), 9).unwrap();
+    pm.set_ncopies(parent, 1).unwrap();
+    let child = pm.fork(&fsc, parent, Some(s(1))).unwrap();
+    let c = pm.get(child).unwrap();
+    assert_eq!(c.ctx.uid, 9, "uid inherited");
+    assert_eq!(c.ctx.ncopies, 1, "§2.3.7 inherited variable");
+    // The child's hidden-directory context follows its *execution* site's
+    // machine type.
+    assert_eq!(c.ctx.contexts, vec!["vax".to_owned()]);
+    let grandchild = pm.fork(&fsc, child, Some(s(2))).unwrap();
+    assert_eq!(
+        pm.get(grandchild).unwrap().ctx.contexts,
+        vec!["45".to_owned()]
+    );
+}
+
+#[test]
+fn exec_with_no_advice_stays_local() {
+    let (fsc, pm) = setup();
+    install(&fsc, "/prog", &vec![1u8; 2048]);
+    let p = pm.spawn_init(&fsc, s(1), 0).unwrap();
+    pm.exec(&fsc, p, "/prog").unwrap();
+    assert_eq!(
+        pm.site_of(p).unwrap(),
+        s(1),
+        "local execution is the default (§6)"
+    );
+}
+
+#[test]
+fn exec_missing_program_is_enoent_and_process_survives() {
+    let (fsc, pm) = setup();
+    let p = pm.spawn_init(&fsc, s(0), 0).unwrap();
+    assert_eq!(
+        pm.exec(&fsc, p, "/no-such-program").unwrap_err(),
+        Errno::Enoent
+    );
+    assert!(
+        pm.get(p).unwrap().alive(),
+        "failed exec leaves the process intact"
+    );
+}
+
+#[test]
+fn advice_skips_unreachable_sites() {
+    let (fsc, pm) = setup();
+    install(&fsc, "/tool", b"module");
+    let p = pm.spawn_init(&fsc, s(0), 0).unwrap();
+    fsc.net().crash(s(1));
+    pm.set_advice(p, vec![s(1), s(0)]).unwrap();
+    pm.exec(&fsc, p, "/tool").unwrap();
+    assert_eq!(pm.site_of(p).unwrap(), s(0), "dead advice entry skipped");
+}
+
+#[test]
+fn run_does_not_copy_the_parent_image() {
+    let (fsc, pm) = setup();
+    install(&fsc, "/job", &vec![7u8; 4096]);
+    let parent = pm.spawn_init(&fsc, s(0), 0).unwrap();
+    fsc.net().reset_stats();
+    let job = pm.run(&fsc, parent, "/job", vec![s(1)]).unwrap();
+    let st = fsc.net().stats();
+    assert_eq!(
+        st.sends("PROC page"),
+        0,
+        "run avoids the fork image copy (§3.1)"
+    );
+    assert!(st.sends("RUN req") == 1);
+    assert_eq!(pm.site_of(job).unwrap(), s(1));
+    assert_eq!(pm.get(job).unwrap().image_pages, 4);
+}
+
+#[test]
+fn signals_queue_in_order_and_drain() {
+    let (fsc, pm) = setup();
+    let a = pm.spawn_init(&fsc, s(0), 0).unwrap();
+    let b = pm.spawn_init(&fsc, s(1), 0).unwrap();
+    pm.kill(&fsc, a, b, Signal::Sigusr1).unwrap();
+    pm.kill(&fsc, a, b, Signal::Sigint).unwrap();
+    assert_eq!(
+        pm.take_signals(b).unwrap(),
+        vec![Signal::Sigusr1, Signal::Sigint]
+    );
+    // Signalling a dead process is ESRCH.
+    pm.exit(&fsc, b, 0).unwrap();
+    assert_eq!(
+        pm.kill(&fsc, a, b, Signal::Sigint).unwrap_err(),
+        Errno::Esrch
+    );
+}
+
+#[test]
+fn signal_to_unreachable_site_fails_with_esitedown() {
+    let (fsc, pm) = setup();
+    let a = pm.spawn_init(&fsc, s(0), 0).unwrap();
+    let b = pm.spawn_init(&fsc, s(2), 0).unwrap();
+    fsc.net().partition(&[vec![s(0), s(1)], vec![s(2)]]);
+    assert_eq!(
+        pm.kill(&fsc, a, b, Signal::Sigusr1).unwrap_err(),
+        Errno::Esitedown
+    );
+}
+
+#[test]
+fn exit_closes_and_commits_descriptors() {
+    let (fsc, pm) = setup();
+    let p = pm.spawn_init(&fsc, s(0), 0).unwrap();
+    let fd = pm.pcreat(&fsc, p, "/exit-test").unwrap();
+    pm.pwrite(&fsc, p, fd, b"flushed at exit").unwrap();
+    pm.exit(&fsc, p, 0).unwrap();
+    fsc.settle();
+    // The file was committed by the exit-time close (§2.3.6).
+    let ctx = ProcFsCtx::new(fsc.kernel(s(1)).mount.root().unwrap(), MachineType::Vax);
+    let g = namei::resolve(&fsc, s(1), &ctx, "/exit-test").unwrap();
+    assert_eq!(
+        namei::read_file_internal(&fsc, s(1), g).unwrap(),
+        b"flushed at exit"
+    );
+    assert_eq!(
+        fsc.kernel(s(0)).open_fd_count(),
+        0,
+        "kernel descriptors released"
+    );
+}
+
+#[test]
+fn wait_reaps_in_any_order_and_reports_status() {
+    let (fsc, pm) = setup();
+    let p = pm.spawn_init(&fsc, s(0), 0).unwrap();
+    let c1 = pm.fork(&fsc, p, None).unwrap();
+    let c2 = pm.fork(&fsc, p, Some(s(1))).unwrap();
+    pm.exit(&fsc, c2, 42).unwrap();
+    let (who, st) = pm.wait(p).unwrap().unwrap();
+    assert_eq!(who, c2);
+    assert_eq!(st, ExitStatus::Exited(42));
+    pm.exit(&fsc, c1, 0).unwrap();
+    let (who, _) = pm.wait(p).unwrap().unwrap();
+    assert_eq!(who, c1);
+    assert_eq!(pm.wait(p).unwrap_err(), Errno::Echild);
+}
+
+#[test]
+fn process_reads_through_inherited_descriptor_remotely() {
+    let (fsc, pm) = setup();
+    let parent = pm.spawn_init(&fsc, s(0), 0).unwrap();
+    install(&fsc, "/shared-data", b"abcdefghijklmnop");
+    let fd = pm
+        .popen(&fsc, parent, "/shared-data", OpenMode::Read)
+        .unwrap();
+    assert_eq!(pm.pread(&fsc, parent, fd, 4).unwrap(), b"abcd");
+    let child = pm.fork(&fsc, parent, Some(s(2))).unwrap();
+    // Same process-level descriptor number, same offset stream (§3.1).
+    assert_eq!(pm.pread(&fsc, child, fd, 4).unwrap(), b"efgh");
+    assert_eq!(pm.pread(&fsc, parent, fd, 4).unwrap(), b"ijkl");
+    pm.pclose(&fsc, child, fd).unwrap();
+    pm.pclose(&fsc, parent, fd).unwrap();
+}
+
+#[test]
+fn spawn_on_crashed_site_fails() {
+    let (fsc, pm) = setup();
+    fsc.net().crash(s(2));
+    assert_eq!(pm.spawn_init(&fsc, s(2), 0).unwrap_err(), Errno::Esitedown);
+}

@@ -1,0 +1,82 @@
+//! Mailbox reconciliation (§4.5).
+//!
+//! "Mailboxes are even easier to merge than directories. The reason is
+//! that the operations which can be done during partitioned operation are
+//! the same: insert and delete, but it is easy to arrange for no name
+//! conflicts, and there are no link problems."
+
+use std::collections::BTreeMap;
+
+use locus_fs::mailbox::{MailMsg, Mailbox};
+
+/// Merges any number of divergent copies of one mailbox: the union of
+/// messages by id, with a delete in any copy winning.
+pub fn merge_mailboxes(copies: &[Mailbox]) -> Mailbox {
+    let mut by_id: BTreeMap<u64, MailMsg> = BTreeMap::new();
+    for copy in copies {
+        for msg in copy.records() {
+            match by_id.get_mut(&msg.id) {
+                None => {
+                    by_id.insert(msg.id, msg.clone());
+                }
+                Some(existing) => {
+                    if msg.deleted {
+                        existing.deleted = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Mailbox::new();
+    for (id, msg) in by_id {
+        out.insert(id, &msg.body);
+        if msg.deleted {
+            out.delete(id).expect("just inserted");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_of_partitioned_inserts() {
+        let mut a = Mailbox::new();
+        a.insert(Mailbox::message_id(1, 1), "from partition A");
+        let mut b = Mailbox::new();
+        b.insert(Mailbox::message_id(2, 1), "from partition B");
+        let m = merge_mailboxes(&[a, b]);
+        assert_eq!(m.live().count(), 2);
+    }
+
+    #[test]
+    fn delete_wins_across_partitions() {
+        let id = Mailbox::message_id(1, 1);
+        let mut a = Mailbox::new();
+        a.insert(id, "msg");
+        a.delete(id).unwrap();
+        let mut b = Mailbox::new();
+        b.insert(id, "msg");
+        let m = merge_mailboxes(&[a.clone(), b.clone()]);
+        assert_eq!(m.live().count(), 0);
+        // Order of copies must not matter.
+        let m2 = merge_mailboxes(&[b, a]);
+        assert_eq!(m.serialize(), m2.serialize());
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = Mailbox::new();
+        a.insert(Mailbox::message_id(1, 1), "one");
+        a.insert(Mailbox::message_id(1, 2), "two");
+        a.delete(Mailbox::message_id(1, 2)).unwrap();
+        let m = merge_mailboxes(&[a.clone(), a.clone()]);
+        assert_eq!(
+            m.serialize(),
+            merge_mailboxes(std::slice::from_ref(&m)).serialize()
+        );
+        assert_eq!(m.live().count(), 1);
+    }
+}

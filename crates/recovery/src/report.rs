@@ -1,0 +1,84 @@
+//! Recovery reports.
+
+use locus_types::Gfid;
+
+/// What recovery decided for one file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileOutcome {
+    /// All copies were already identical.
+    Consistent,
+    /// One version dominated; stale copies were brought up to date.
+    Propagated,
+    /// Delete in one partition, no conflicting modification: the delete
+    /// was propagated (§4.4 rule b).
+    DeletePropagated,
+    /// Deleted in one partition but modified in another: the delete was
+    /// undone and the modified version saved (§4.4 rule d).
+    Resurrected,
+    /// Divergent directory copies were merged automatically (§4.4).
+    DirectoryMerged,
+    /// Divergent mailbox copies were merged automatically (§4.5).
+    MailboxMerged,
+    /// A registered recovery/merge manager reconciled the versions
+    /// (§4.1's "database manager for example").
+    ManagerMerged,
+    /// Unresolvable conflict: copies marked, owner notified (§4.6).
+    ConflictMarked,
+}
+
+/// Summary of one filegroup reconciliation.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Per-file outcomes (files needing no action are included as
+    /// [`FileOutcome::Consistent`]).
+    pub files: Vec<(Gfid, FileOutcome)>,
+    /// Name conflicts repaired during directory merges: `(directory,
+    /// original name, new names)`.
+    pub name_conflicts: Vec<(Gfid, String, Vec<String>)>,
+}
+
+impl RecoveryReport {
+    /// Files with the given outcome.
+    pub fn with_outcome(&self, outcome: FileOutcome) -> Vec<Gfid> {
+        self.files
+            .iter()
+            .filter(|(_, o)| *o == outcome)
+            .map(|(g, _)| *g)
+            .collect()
+    }
+
+    /// Number of files marked in conflict.
+    pub fn conflict_count(&self) -> usize {
+        self.with_outcome(FileOutcome::ConflictMarked).len()
+    }
+
+    /// Count of files that required any action.
+    pub fn actions(&self) -> usize {
+        self.files
+            .iter()
+            .filter(|(_, o)| *o != FileOutcome::Consistent)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::{FilegroupId, Ino};
+
+    #[test]
+    fn report_filters() {
+        let g1 = Gfid::new(FilegroupId(0), Ino(1));
+        let g2 = Gfid::new(FilegroupId(0), Ino(2));
+        let r = RecoveryReport {
+            files: vec![
+                (g1, FileOutcome::Consistent),
+                (g2, FileOutcome::ConflictMarked),
+            ],
+            name_conflicts: Vec::new(),
+        };
+        assert_eq!(r.conflict_count(), 1);
+        assert_eq!(r.actions(), 1);
+        assert_eq!(r.with_outcome(FileOutcome::Consistent), vec![g1]);
+    }
+}

@@ -1,0 +1,164 @@
+//! The per-site buffer cache.
+//!
+//! "All such requests are serviced via kernel buffers, both in standard
+//! Unix and in LOCUS … including the one page readahead done for files
+//! being read sequentially" (§2.3.3). The cache is keyed by
+//! `(pack, inode, logical page)`; the propagation process and the network
+//! read path rename buffers rather than copying through user space, which
+//! we model by the cache simply holding page images.
+
+use std::collections::HashMap;
+
+use locus_types::{Ino, PackId};
+
+/// Cache key: one logical page of one file copy.
+pub type PageKey = (PackId, Ino, usize);
+
+/// A fixed-capacity LRU page cache with hit/miss accounting.
+#[derive(Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    map: HashMap<PageKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    data: Vec<u8>,
+    last_used: u64,
+}
+
+impl BufferCache {
+    /// A cache holding up to `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        BufferCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a page, refreshing its recency on hit.
+    pub fn get(&mut self, key: &PageKey) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits += 1;
+                Some(e.data.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a page, evicting the least recently used
+    /// entry if full.
+    pub fn put(&mut self, key: PageKey, data: Vec<u8>) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                data,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Drops every cached page of a file (on commit of a new version, the
+    /// old buffers are stale; on delete they are discarded).
+    pub fn invalidate_file(&mut self, pack: PackId, ino: Ino) {
+        self.map.retain(|(p, i, _), _| !(*p == pack && *i == ino));
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::FilegroupId;
+
+    fn key(ino: u32, lpn: usize) -> PageKey {
+        (PackId::new(FilegroupId(0), 0), Ino(ino), lpn)
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = BufferCache::new(4);
+        assert!(c.get(&key(1, 0)).is_none());
+        c.put(key(1, 0), vec![1, 2, 3]);
+        assert_eq!(c.get(&key(1, 0)), Some(vec![1, 2, 3]));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = BufferCache::new(2);
+        c.put(key(1, 0), vec![1]);
+        c.put(key(2, 0), vec![2]);
+        c.get(&key(1, 0)); // refresh 1
+        c.put(key(3, 0), vec![3]); // evicts 2
+        assert!(c.get(&key(2, 0)).is_none());
+        assert!(c.get(&key(1, 0)).is_some());
+        assert!(c.get(&key(3, 0)).is_some());
+    }
+
+    #[test]
+    fn invalidate_file_clears_all_its_pages() {
+        let mut c = BufferCache::new(8);
+        c.put(key(1, 0), vec![1]);
+        c.put(key(1, 1), vec![2]);
+        c.put(key(2, 0), vec![3]);
+        c.invalidate_file(PackId::new(FilegroupId(0), 0), Ino(1));
+        assert!(c.get(&key(1, 0)).is_none());
+        assert!(c.get(&key(1, 1)).is_none());
+        assert!(c.get(&key(2, 0)).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_evicting() {
+        let mut c = BufferCache::new(2);
+        c.put(key(1, 0), vec![1]);
+        c.put(key(2, 0), vec![2]);
+        c.put(key(1, 0), vec![9]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key(1, 0)), Some(vec![9]));
+        assert!(c.get(&key(2, 0)).is_some());
+    }
+}

@@ -1,0 +1,177 @@
+//! The §5.6 cleanup tables, as typed rules.
+//!
+//! "Even before the partition has been reestablished, there is
+//! considerable work that each node can do to clean up its internal data
+//! structures. Essentially, each machine, once it has decided that a
+//! particular site is unavailable, must invoke failure handling for all
+//! resources which its processes were using at that site, or for all
+//! local resources which processes at that site were using. The cases are
+//! outlined in the table below."
+//!
+//! The three tables are encoded as [`ResourceSituation`] →
+//! [`FailureAction`]; the orchestration layer applies the actions to the
+//! filesystem, process and transaction subsystems.
+
+/// A resource/failure situation from the §5.6 tables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResourceSituation {
+    /// Local file in use remotely, open for update, and the using site
+    /// departed.
+    LocalFileUsedRemotely {
+        /// Whether the remote open was for update.
+        update: bool,
+    },
+    /// Remote file in use locally, and the storage site departed.
+    RemoteFileUsedLocally {
+        /// Whether the local open was for update.
+        update: bool,
+    },
+    /// A remote fork/exec was in progress and the remote site failed.
+    RemoteForkExecRemoteFailed,
+    /// A fork/exec's calling site failed (observed by the new process's
+    /// site).
+    ForkExecCallerFailed,
+    /// A distributed transaction spans the failure.
+    DistributedTransaction,
+}
+
+/// The action the cleanup procedure must take.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureAction {
+    /// "Discard pages, close file and abort updates."
+    DiscardAndAbortUpdates,
+    /// "Close file."
+    CloseFile,
+    /// "Discard pages, set error in local file descriptor."
+    SetErrorInDescriptor,
+    /// "Internal close, attempt to reopen at other site."
+    ReopenAtOtherSite,
+    /// "Return error to caller."
+    ReturnErrorToCaller,
+    /// "Notify process."
+    NotifyProcess,
+    /// "Abort all related subtransactions in partition."
+    AbortSubtransactions,
+}
+
+/// The literal §5.6 mapping.
+pub fn failure_action(situation: ResourceSituation) -> FailureAction {
+    match situation {
+        // Local Resource in Use Remotely.
+        ResourceSituation::LocalFileUsedRemotely { update: true } => {
+            FailureAction::DiscardAndAbortUpdates
+        }
+        ResourceSituation::LocalFileUsedRemotely { update: false } => FailureAction::CloseFile,
+        // Remote Resource in Use Locally.
+        ResourceSituation::RemoteFileUsedLocally { update: true } => {
+            FailureAction::SetErrorInDescriptor
+        }
+        ResourceSituation::RemoteFileUsedLocally { update: false } => {
+            FailureAction::ReopenAtOtherSite
+        }
+        // Interacting Processes.
+        ResourceSituation::RemoteForkExecRemoteFailed => FailureAction::ReturnErrorToCaller,
+        ResourceSituation::ForkExecCallerFailed => FailureAction::NotifyProcess,
+        ResourceSituation::DistributedTransaction => FailureAction::AbortSubtransactions,
+    }
+}
+
+/// Renders the three tables as the paper prints them — the `tab1` harness
+/// regenerates the §5.6 figure from this.
+pub fn render_tables() -> String {
+    let rows = [
+        (
+            "Local Resource in Use Remotely",
+            vec![
+                (
+                    "File (open for update)",
+                    failure_action(ResourceSituation::LocalFileUsedRemotely { update: true }),
+                ),
+                (
+                    "File (open for read)",
+                    failure_action(ResourceSituation::LocalFileUsedRemotely { update: false }),
+                ),
+            ],
+        ),
+        (
+            "Remote Resource in Use Locally",
+            vec![
+                (
+                    "File (open for update)",
+                    failure_action(ResourceSituation::RemoteFileUsedLocally { update: true }),
+                ),
+                (
+                    "File (open for read)",
+                    failure_action(ResourceSituation::RemoteFileUsedLocally { update: false }),
+                ),
+            ],
+        ),
+        (
+            "Interacting Processes",
+            vec![
+                (
+                    "Remote Fork/Exec, remote site fails",
+                    failure_action(ResourceSituation::RemoteForkExecRemoteFailed),
+                ),
+                (
+                    "Fork/Exec, calling site fails",
+                    failure_action(ResourceSituation::ForkExecCallerFailed),
+                ),
+                (
+                    "Distributed Transaction",
+                    failure_action(ResourceSituation::DistributedTransaction),
+                ),
+            ],
+        ),
+    ];
+    let mut out = String::new();
+    for (title, table) in rows {
+        out.push_str(&format!("{title}\n"));
+        for (resource, action) in table {
+            out.push_str(&format!("  {resource:<40} {action:?}\n"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_the_paper() {
+        use FailureAction::*;
+        use ResourceSituation::*;
+        assert_eq!(
+            failure_action(LocalFileUsedRemotely { update: true }),
+            DiscardAndAbortUpdates
+        );
+        assert_eq!(
+            failure_action(LocalFileUsedRemotely { update: false }),
+            CloseFile
+        );
+        assert_eq!(
+            failure_action(RemoteFileUsedLocally { update: true }),
+            SetErrorInDescriptor
+        );
+        assert_eq!(
+            failure_action(RemoteFileUsedLocally { update: false }),
+            ReopenAtOtherSite
+        );
+        assert_eq!(
+            failure_action(RemoteForkExecRemoteFailed),
+            ReturnErrorToCaller
+        );
+        assert_eq!(failure_action(ForkExecCallerFailed), NotifyProcess);
+        assert_eq!(failure_action(DistributedTransaction), AbortSubtransactions);
+    }
+
+    #[test]
+    fn rendering_contains_all_rows() {
+        let t = render_tables();
+        assert!(t.contains("Local Resource in Use Remotely"));
+        assert!(t.contains("Interacting Processes"));
+        assert!(t.contains("AbortSubtransactions"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Synchronization-site selection after a partition change (§5.6).
+//!
+//! "Once the machines in a partition have mutually agreed upon the
+//! membership of the partition, the system must select, for each
+//! filegroup it supports, a new synchronization site."
+
+use std::collections::BTreeSet;
+
+use locus_types::SiteId;
+
+/// Picks the new CSS for a filegroup: the lowest-numbered partition member
+/// hosting one of the filegroup's containers (the deterministic choice
+/// every member computes identically). `None` if no container is in the
+/// partition — the filegroup is inaccessible there.
+pub fn select_css(partition: &BTreeSet<SiteId>, container_sites: &[SiteId]) -> Option<SiteId> {
+    partition
+        .iter()
+        .copied()
+        .find(|s| container_sites.contains(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<SiteId> {
+        ids.iter().map(|&i| SiteId(i)).collect()
+    }
+
+    #[test]
+    fn lowest_container_member_wins() {
+        let css = select_css(&set(&[1, 2, 3]), &[SiteId(3), SiteId(2)]);
+        assert_eq!(css, Some(SiteId(2)));
+    }
+
+    #[test]
+    fn no_container_in_partition_means_inaccessible() {
+        assert_eq!(select_css(&set(&[4, 5]), &[SiteId(0), SiteId(1)]), None);
+    }
+
+    #[test]
+    fn deterministic_across_members() {
+        let p = set(&[0, 1, 2]);
+        let containers = [SiteId(1), SiteId(2)];
+        let choice = select_css(&p, &containers);
+        // Every member computing the choice gets the same answer.
+        assert_eq!(choice, select_css(&p, &containers));
+        assert_eq!(choice, Some(SiteId(1)));
+    }
+}

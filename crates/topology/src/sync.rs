@@ -1,0 +1,108 @@
+//! Protocol synchronization without ACKs (§5.7).
+//!
+//! "LOCUS reconfiguration uses an extension of a 'failure detection'
+//! mechanism for synchronization control. Whenever a site takes on a
+//! passive role in a protocol, it checks periodically on the active site.
+//! … Another alternative, the one used in LOCUS, is to order all the
+//! stages of the protocol. When a site checks another site, that site
+//! returns its own status information. A site can wait only for those
+//! sites who are executing a portion of the protocol that precedes its
+//! own. If the two sites are in the same state, the ordering is by site
+//! number. This ordering of the sites is complete. The lowest ordered
+//! site has no site to legally wait for; if it is not active, its check
+//! will fail, and the protocol can be re-started at a reasonable point."
+
+use locus_types::SiteId;
+
+/// The ordered stages of the reconfiguration procedure.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum ProtocolStage {
+    /// Not participating in any reconfiguration.
+    Idle,
+    /// Running (or joined to) the partition protocol.
+    Partition,
+    /// Partition consensus reached; awaiting merge.
+    PartitionDone,
+    /// Running (or joined to) the merge protocol.
+    Merge,
+    /// Cleaning up internal data structures (§5.6).
+    Cleanup,
+    /// Running the recovery procedure (§4).
+    Recovery,
+}
+
+/// Whether a site at `(my_stage, me)` may legally wait on `(their_stage,
+/// them)`: only on sites executing an *earlier* portion of the protocol,
+/// with site number breaking ties. The induced relation is a strict total
+/// order, so circular waits are impossible.
+pub fn may_wait_for(
+    my_stage: ProtocolStage,
+    me: SiteId,
+    their_stage: ProtocolStage,
+    them: SiteId,
+) -> bool {
+    match their_stage.cmp(&my_stage) {
+        core::cmp::Ordering::Less => true,
+        core::cmp::Ordering::Greater => false,
+        core::cmp::Ordering::Equal => them < me,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_order_is_protocol_order() {
+        assert!(ProtocolStage::Partition < ProtocolStage::Merge);
+        assert!(ProtocolStage::Merge < ProtocolStage::Recovery);
+    }
+
+    #[test]
+    fn waiting_is_acyclic_for_any_pair() {
+        let stages = [
+            ProtocolStage::Idle,
+            ProtocolStage::Partition,
+            ProtocolStage::PartitionDone,
+            ProtocolStage::Merge,
+            ProtocolStage::Cleanup,
+            ProtocolStage::Recovery,
+        ];
+        for &a in &stages {
+            for &b in &stages {
+                for i in 0..4u32 {
+                    for j in 0..4u32 {
+                        if i == j && a == b {
+                            continue;
+                        }
+                        let ab = may_wait_for(a, SiteId(i), b, SiteId(j));
+                        let ba = may_wait_for(b, SiteId(j), a, SiteId(i));
+                        assert!(
+                            !(ab && ba),
+                            "circular wait allowed between ({a:?},{i}) and ({b:?},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_ordered_site_waits_for_nobody_at_same_stage() {
+        let others = [SiteId(1), SiteId(2), SiteId(3)];
+        for &o in &others {
+            assert!(!may_wait_for(
+                ProtocolStage::Merge,
+                SiteId(0),
+                ProtocolStage::Merge,
+                o
+            ));
+            assert!(may_wait_for(
+                ProtocolStage::Merge,
+                o,
+                ProtocolStage::Merge,
+                SiteId(0)
+            ));
+        }
+    }
+}

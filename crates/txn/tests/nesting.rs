@@ -1,0 +1,184 @@
+//! Deep-nesting and isolation tests for the transaction system
+//! ([MEUL 83]).
+
+use locus_fs::ops::namei;
+use locus_fs::{FsCluster, FsClusterBuilder, ProcFsCtx};
+use locus_txn::{TxnMgr, TxnState};
+use locus_types::{Errno, FileType, Gfid, MachineType, Perms, SiteId};
+
+fn s(i: u32) -> SiteId {
+    SiteId(i)
+}
+
+fn setup_files(names: &[&str]) -> (FsCluster, TxnMgr, Vec<Gfid>) {
+    let fsc = FsClusterBuilder::new()
+        .vax_sites(4)
+        .filegroup("root", &[0, 1])
+        .build();
+    let ctx = ProcFsCtx::new(fsc.kernel(s(0)).mount.root().unwrap(), MachineType::Vax);
+    let mut gfids = Vec::new();
+    for n in names {
+        let g = namei::create(
+            &fsc,
+            s(0),
+            &ctx,
+            &format!("/{n}"),
+            FileType::Database,
+            Perms::FILE_DEFAULT,
+        )
+        .unwrap();
+        namei::write_file_internal(&fsc, s(0), g, b"initial").unwrap();
+        gfids.push(g);
+    }
+    fsc.settle();
+    (fsc, TxnMgr::new(), gfids)
+}
+
+#[test]
+fn three_levels_of_nesting_commit_bottom_up() {
+    let (fsc, tm, g) = setup_files(&["db"]);
+    let top = tm.begin(s(0));
+    let mid = tm.begin_sub(&fsc, top, s(1)).unwrap();
+    let leaf = tm.begin_sub(&fsc, mid, s(2)).unwrap();
+    tm.write(&fsc, leaf, g[0], b"leaf value").unwrap();
+    // Reads anywhere on the chain see the deepest staged write.
+    assert_eq!(tm.read(&fsc, leaf, g[0]).unwrap(), b"leaf value");
+    tm.commit(&fsc, leaf).unwrap();
+    assert_eq!(tm.read(&fsc, mid, g[0]).unwrap(), b"leaf value");
+    tm.commit(&fsc, mid).unwrap();
+    assert_eq!(tm.read(&fsc, top, g[0]).unwrap(), b"leaf value");
+    assert_eq!(
+        namei::read_file_internal(&fsc, s(3), g[0]).unwrap(),
+        b"initial",
+        "nothing durable before top commit"
+    );
+    tm.commit(&fsc, top).unwrap();
+    fsc.settle();
+    assert_eq!(
+        namei::read_file_internal(&fsc, s(3), g[0]).unwrap(),
+        b"leaf value"
+    );
+}
+
+#[test]
+fn mid_level_abort_discards_the_whole_subtree() {
+    let (fsc, tm, g) = setup_files(&["db"]);
+    let top = tm.begin(s(0));
+    tm.write(&fsc, top, g[0], b"top work").unwrap();
+    let mid = tm.begin_sub(&fsc, top, s(1)).unwrap();
+    let leaf = tm.begin_sub(&fsc, mid, s(2)).unwrap();
+    tm.write(&fsc, leaf, g[0], b"leaf work").unwrap();
+    tm.commit(&fsc, leaf).unwrap(); // leaf passes to mid...
+    tm.abort(&fsc, mid).unwrap(); // ...but mid aborts: all of it gone
+    assert_eq!(tm.state(leaf).unwrap(), TxnState::Committed);
+    assert_eq!(tm.read(&fsc, top, g[0]).unwrap(), b"top work");
+    tm.commit(&fsc, top).unwrap();
+    assert_eq!(
+        namei::read_file_internal(&fsc, s(0), g[0]).unwrap(),
+        b"top work"
+    );
+}
+
+#[test]
+fn commit_of_parent_commits_open_children_first() {
+    let (fsc, tm, g) = setup_files(&["db"]);
+    let top = tm.begin(s(0));
+    let sub = tm.begin_sub(&fsc, top, s(1)).unwrap();
+    tm.write(&fsc, sub, g[0], b"child work").unwrap();
+    // Committing the top with the child still active commits bottom-up.
+    tm.commit(&fsc, top).unwrap();
+    assert_eq!(tm.state(sub).unwrap(), TxnState::Committed);
+    assert_eq!(
+        namei::read_file_internal(&fsc, s(0), g[0]).unwrap(),
+        b"child work"
+    );
+}
+
+#[test]
+fn siblings_are_isolated_until_commit() {
+    let (fsc, tm, g) = setup_files(&["a", "b"]);
+    let top = tm.begin(s(0));
+    let s1 = tm.begin_sub(&fsc, top, s(1)).unwrap();
+    let s2 = tm.begin_sub(&fsc, top, s(2)).unwrap();
+    tm.write(&fsc, s1, g[0], b"one").unwrap();
+    // Sibling s2 does NOT see s1's uncommitted staging (it is not an
+    // ancestor), only the disk state.
+    assert_eq!(tm.read(&fsc, s2, g[0]).unwrap(), b"initial");
+    tm.commit(&fsc, s1).unwrap();
+    // After s1 commits to the parent, the staging is on s2's ancestor
+    // chain and becomes visible.
+    assert_eq!(tm.read(&fsc, s2, g[0]).unwrap(), b"one");
+    tm.commit(&fsc, s2).unwrap();
+    tm.commit(&fsc, top).unwrap();
+}
+
+#[test]
+fn independent_top_levels_conflict_on_the_same_file() {
+    let (fsc, tm, g) = setup_files(&["db"]);
+    let t1 = tm.begin(s(0));
+    let t2 = tm.begin(s(1));
+    tm.write(&fsc, t1, g[0], b"t1").unwrap();
+    assert_eq!(tm.write(&fsc, t2, g[0], b"t2").unwrap_err(), Errno::Etxtbsy);
+    tm.abort(&fsc, t1).unwrap();
+    tm.write(&fsc, t2, g[0], b"t2").unwrap();
+    tm.commit(&fsc, t2).unwrap();
+    assert_eq!(namei::read_file_internal(&fsc, s(0), g[0]).unwrap(), b"t2");
+}
+
+#[test]
+fn multi_file_transaction_installs_all_files() {
+    let (fsc, tm, g) = setup_files(&["x", "y", "z"]);
+    let top = tm.begin(s(0));
+    for (i, gf) in g.iter().enumerate() {
+        tm.write(&fsc, top, *gf, format!("value {i}").as_bytes())
+            .unwrap();
+    }
+    tm.commit(&fsc, top).unwrap();
+    fsc.settle();
+    for (i, gf) in g.iter().enumerate() {
+        assert_eq!(
+            namei::read_file_internal(&fsc, s(1), *gf).unwrap(),
+            format!("value {i}").as_bytes()
+        );
+    }
+    assert_eq!(tm.locked_files(), 0, "top commit released every lock");
+}
+
+#[test]
+fn remote_subtransaction_costs_messages() {
+    let (fsc, tm, _) = setup_files(&["db"]);
+    let top = tm.begin(s(0));
+    fsc.net().reset_stats();
+    let sub = tm.begin_sub(&fsc, top, s(2)).unwrap();
+    assert_eq!(fsc.net().stats().sends("TXN begin"), 1);
+    tm.commit(&fsc, sub).unwrap();
+    assert_eq!(fsc.net().stats().sends("TXN commit"), 1);
+    tm.commit(&fsc, top).unwrap();
+    // A local subtransaction is free.
+    let top2 = tm.begin(s(0));
+    fsc.net().reset_stats();
+    let sub2 = tm.begin_sub(&fsc, top2, s(0)).unwrap();
+    tm.commit(&fsc, sub2).unwrap();
+    assert_eq!(fsc.net().stats().total_sends(), 0);
+    tm.commit(&fsc, top2).unwrap();
+}
+
+#[test]
+fn orphan_abort_spares_subtrees_that_stay_connected() {
+    let (fsc, tm, g) = setup_files(&["db"]);
+    let top = tm.begin(s(0));
+    let near = tm.begin_sub(&fsc, top, s(1)).unwrap();
+    let far = tm.begin_sub(&fsc, top, s(3)).unwrap();
+    tm.write(&fsc, near, g[0], b"near").unwrap();
+    fsc.net().partition(&[vec![s(0), s(1)], vec![s(2), s(3)]]);
+    let aborted = tm.abort_orphans(&fsc);
+    assert_eq!(aborted, 1, "only the cut-off subtransaction dies");
+    assert_eq!(tm.state(far).unwrap(), TxnState::Aborted);
+    assert_eq!(tm.state(near).unwrap(), TxnState::Active);
+    tm.commit(&fsc, near).unwrap();
+    tm.commit(&fsc, top).unwrap();
+    assert_eq!(
+        namei::read_file_internal(&fsc, s(0), g[0]).unwrap(),
+        b"near"
+    );
+}

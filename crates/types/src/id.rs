@@ -1,0 +1,185 @@
+//! Identifiers for sites, filegroups, inodes, packs and processes.
+//!
+//! The paper's globally unique low-level file name is the pair
+//! `<logical filegroup number, file descriptor (inode) number>` (§2.2.2);
+//! [`Gfid`] is that pair. A *pack* is one physical container of a logical
+//! filegroup; a pack stores a subset of the filegroup's files and owns a
+//! slice of its inode-number space so that creation works under partition
+//! (§2.3.7).
+
+use core::fmt;
+
+/// Identifier of one site (machine) in the LOCUS network.
+///
+/// The original installation was 17 VAX-11/750s; sites here are simulated
+/// kernels. Site numbers also provide the total order the reconfiguration
+/// protocol uses to break ties (§5.7).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Returns the raw site number.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifier of a logical filegroup (the paper's term for a Unix
+/// "filesystem": a wholly self-contained subtree of the naming hierarchy).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FilegroupId(pub u32);
+
+impl fmt::Display for FilegroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fg{}", self.0)
+    }
+}
+
+/// Inode number within a logical filegroup.
+///
+/// All physical copies of a file carry the *same* inode number within the
+/// logical filegroup (§2.2.2), which is what lets sites talk about a file
+/// without agreeing on where it is stored.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Ino(pub u32);
+
+impl fmt::Display for Ino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// The globally unique low-level name of a file:
+/// `<logical filegroup number, inode number>` (§2.2.2).
+///
+/// # Examples
+///
+/// ```
+/// use locus_types::{FilegroupId, Gfid, Ino};
+///
+/// let root = Gfid::new(FilegroupId(0), Ino(1));
+/// assert_eq!(root.to_string(), "<fg0,i1>");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Gfid {
+    /// Logical filegroup containing the file.
+    pub fg: FilegroupId,
+    /// Inode number within the filegroup.
+    pub ino: Ino,
+}
+
+impl Gfid {
+    /// Builds a global file identifier from its two components.
+    pub const fn new(fg: FilegroupId, ino: Ino) -> Self {
+        Gfid { fg, ino }
+    }
+}
+
+impl fmt::Display for Gfid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.fg, self.ino)
+    }
+}
+
+/// Identifier of one physical container (pack) of a logical filegroup.
+///
+/// A pack lives on exactly one site and stores a subset of the filegroup's
+/// files (§2.2.2: "any physical container is incomplete").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PackId {
+    /// The logical filegroup this pack is a container for.
+    pub fg: FilegroupId,
+    /// Index of this pack among the filegroup's containers.
+    pub idx: u32,
+}
+
+impl PackId {
+    /// Builds a pack identifier.
+    pub const fn new(fg: FilegroupId, idx: u32) -> Self {
+        PackId { fg, idx }
+    }
+}
+
+impl fmt::Display for PackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.p{}", self.fg, self.idx)
+    }
+}
+
+/// Network-wide process identifier.
+///
+/// LOCUS process identifiers are unique across the whole network so that
+/// signals and waits work transparently across sites (§3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u64);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// CPU/machine type of a site, used by hidden directories to select the
+/// right load module transparently (§2.4.1: PDP-11/45 vs. VAX-750).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MachineType {
+    /// DEC VAX-11/750 (the production UCLA configuration).
+    Vax,
+    /// DEC PDP-11/45 (the initial development machines).
+    Pdp11,
+}
+
+impl MachineType {
+    /// The context name used as the entry name inside a hidden directory
+    /// (§2.4.1 uses `/bin/who` containing entries `45` and `vax`).
+    pub const fn context_name(self) -> &'static str {
+        match self {
+            MachineType::Vax => "vax",
+            MachineType::Pdp11 => "45",
+        }
+    }
+}
+
+impl fmt::Display for MachineType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.context_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gfid_display_and_order() {
+        let a = Gfid::new(FilegroupId(0), Ino(1));
+        let b = Gfid::new(FilegroupId(0), Ino(2));
+        let c = Gfid::new(FilegroupId(1), Ino(0));
+        assert!(a < b && b < c);
+        assert_eq!(format!("{a}"), "<fg0,i1>");
+    }
+
+    #[test]
+    fn site_ordering_is_total() {
+        let mut v = vec![SiteId(3), SiteId(1), SiteId(2)];
+        v.sort();
+        assert_eq!(v, vec![SiteId(1), SiteId(2), SiteId(3)]);
+    }
+
+    #[test]
+    fn machine_context_names() {
+        assert_eq!(MachineType::Vax.context_name(), "vax");
+        assert_eq!(MachineType::Pdp11.to_string(), "45");
+    }
+
+    #[test]
+    fn pack_display() {
+        assert_eq!(PackId::new(FilegroupId(2), 1).to_string(), "fg2.p1");
+    }
+}

@@ -1,0 +1,23 @@
+//! Fundamental identifiers and value types shared by every LOCUS subsystem.
+//!
+//! This crate is the vocabulary of the reproduction: site, filegroup and
+//! inode identifiers, the `<logical filegroup, inode>` globally unique
+//! low-level file name the paper builds everything on (§2.2.2), version
+//! vectors used for mutual-inconsistency detection (Parker et al., as cited
+//! in §2.2.2 and §4.2), virtual time, and the errno-style error type used
+//! across the simulated kernel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod file;
+pub mod id;
+pub mod time;
+pub mod vv;
+
+pub use error::{Errno, SysResult};
+pub use file::{FileType, OpenMode, Perms};
+pub use id::{FilegroupId, Gfid, Ino, MachineType, PackId, Pid, SiteId};
+pub use time::Ticks;
+pub use vv::{VersionVector, VvOrder};

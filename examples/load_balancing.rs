@@ -1,0 +1,83 @@
+//! Remote process execution for load balancing across heterogeneous CPUs
+//! (§2.4.1, §3.1, §6: "we found that the primary motivation for remote
+//! execution was load balancing").
+//!
+//! A mixed VAX/PDP-11 network stores `/bin/crunch` as a *hidden
+//! directory* holding one load module per machine type; `run` requests
+//! fan jobs out across the machines, each transparently receiving the
+//! right binary.
+//!
+//! Run with `cargo run -p locus-examples --bin load_balancing`.
+
+use locus::{Cluster, MachineType, SiteId};
+
+fn main() {
+    let cluster = Cluster::builder()
+        .site(MachineType::Vax)
+        .site(MachineType::Vax)
+        .site(MachineType::Pdp11)
+        .site(MachineType::Pdp11)
+        .filegroup("root", &[0, 2])
+        .build();
+    let shell = cluster.login(SiteId(0), 1).expect("login");
+
+    // Install the command: one hidden directory, two load modules
+    // (§2.4.1's /bin/who example, with `vax` and `45` entries).
+    cluster.mkdir(shell, "/bin").expect("mkdir /bin");
+    cluster
+        .mk_hidden_dir(shell, "/bin/crunch")
+        .expect("hidden dir");
+    cluster
+        .write_file(shell, "/bin/crunch@/vax", &vec![0xAAu8; 4096])
+        .expect("vax module");
+    cluster
+        .write_file(shell, "/bin/crunch@/45", &vec![0x45; 2048])
+        .expect("pdp module");
+    cluster.settle();
+
+    // Fan eight jobs across all four machines round-robin; `run` does a
+    // fork+exec without copying the caller's image (§3.1).
+    println!(
+        "{:<6} {:<8} {:<10} {:>12}",
+        "job", "site", "cpu", "module pages"
+    );
+    let mut jobs = Vec::new();
+    for j in 0..8u32 {
+        let target = SiteId(j % 4);
+        let job = cluster
+            .run(shell, "/bin/crunch", &[target])
+            .expect("run transparently selects the load module");
+        let p = cluster.procs().get(job).expect("process");
+        let machine = cluster.fs().kernel(p.site).machine;
+        println!(
+            "{:<6} {:<8} {:<10} {:>12}",
+            j,
+            p.site.to_string(),
+            machine.to_string(),
+            p.image_pages
+        );
+        jobs.push(job);
+    }
+
+    // Every job got the module matching its CPU: VAX sites loaded the
+    // 4-page module, PDP-11 sites the 2-page one.
+    for job in &jobs {
+        let p = cluster.procs().get(*job).expect("process");
+        let expect = match cluster.fs().kernel(p.site).machine {
+            MachineType::Vax => 4,
+            MachineType::Pdp11 => 2,
+        };
+        assert_eq!(p.image_pages, expect, "wrong load module selected");
+        cluster.exit(*job, 0).expect("job exits");
+    }
+    loop {
+        match cluster.wait(shell) {
+            Ok(Some(_)) => continue,
+            Ok(None) | Err(locus::Errno::Echild) => break,
+            Err(e) => panic!("wait: {e}"),
+        }
+    }
+    println!(
+        "\nall jobs ran with the machine-appropriate load module — no job was told where it ran."
+    );
+}

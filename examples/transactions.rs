@@ -1,0 +1,100 @@
+//! Nested transactions across sites ([MEUL 83], §4.1): a funds transfer
+//! touching two account files, with a failing subtransaction that aborts
+//! cleanly and a partition that orphans (and aborts) in-flight
+//! subtransaction work.
+//!
+//! Run with `cargo run -p locus-examples --bin transactions`.
+
+use locus::{Cluster, SiteId, TxnState};
+
+fn read_acct(c: &Cluster, pid: locus::Pid, path: &str) -> String {
+    String::from_utf8_lossy(&c.read_file(pid, path).expect("read")).to_string()
+}
+
+fn main() {
+    let cluster = Cluster::builder()
+        .vax_sites(3)
+        .filegroup("root", &[0, 1])
+        .build();
+    let teller = cluster.login(SiteId(0), 42).expect("login");
+    cluster
+        .write_file(teller, "/checking", b"balance=100")
+        .expect("seed");
+    cluster
+        .write_file(teller, "/savings", b"balance=0")
+        .expect("seed");
+    cluster.settle();
+
+    // --- A nested transfer: the two debits/credits run as
+    // subtransactions on different sites; nothing is visible until the
+    // top-level commit. ---
+    let top = cluster.txn_begin(teller).expect("begin");
+    let debit = cluster.txn_sub(top, SiteId(0)).expect("sub");
+    let credit = cluster.txn_sub(top, SiteId(1)).expect("sub");
+    cluster
+        .txn_write(debit, teller, "/checking", b"balance=60")
+        .expect("debit");
+    cluster
+        .txn_write(credit, teller, "/savings", b"balance=40")
+        .expect("credit");
+    cluster.txn_commit(debit).expect("sub commit");
+    cluster.txn_commit(credit).expect("sub commit");
+    println!(
+        "before top commit: checking={:?} savings={:?}",
+        read_acct(&cluster, teller, "/checking"),
+        read_acct(&cluster, teller, "/savings")
+    );
+    cluster.txn_commit(top).expect("top commit");
+    cluster.settle();
+    println!(
+        "after  top commit: checking={:?} savings={:?}",
+        read_acct(&cluster, teller, "/checking"),
+        read_acct(&cluster, teller, "/savings")
+    );
+
+    // --- A failing subtransaction aborts without damaging the parent's
+    // staged work. ---
+    let top = cluster.txn_begin(teller).expect("begin");
+    cluster
+        .txn_write(top, teller, "/checking", b"balance=59")
+        .expect("fee");
+    let risky = cluster.txn_sub(top, SiteId(1)).expect("sub");
+    cluster
+        .txn_write(risky, teller, "/savings", b"balance=-1000")
+        .expect("stage");
+    cluster
+        .txn_abort(risky)
+        .expect("validation fails: abort the subtree");
+    cluster
+        .txn_commit(top)
+        .expect("parent commits its own work");
+    cluster.settle();
+    println!(
+        "after sub-abort:   checking={:?} savings={:?}",
+        read_acct(&cluster, teller, "/checking"),
+        read_acct(&cluster, teller, "/savings")
+    );
+
+    // --- A partition orphans a remote subtransaction: the §5.6 rule
+    // aborts it; the parent side survives. ---
+    let top = cluster.txn_begin(teller).expect("begin");
+    let remote = cluster.txn_sub(top, SiteId(2)).expect("sub");
+    cluster
+        .txn_write(remote, teller, "/savings", b"balance=9999")
+        .expect("stage");
+    cluster.partition(&[vec![SiteId(0), SiteId(1)], vec![SiteId(2)]]);
+    let r = cluster.reconfigure().expect("reconfigure");
+    println!(
+        "partition: {} orphaned subtransaction(s) aborted",
+        r.txns_aborted
+    );
+    assert_eq!(cluster.txns().state(remote).unwrap(), TxnState::Aborted);
+    cluster.txn_commit(top).expect("parent side commits");
+    cluster.heal();
+    cluster.reconfigure().expect("merge");
+    println!(
+        "after partition:   checking={:?} savings={:?}",
+        read_acct(&cluster, teller, "/checking"),
+        read_acct(&cluster, teller, "/savings")
+    );
+}

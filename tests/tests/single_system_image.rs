@@ -1,0 +1,189 @@
+//! Whole-system tests of the single-system-image behaviour: "it makes the
+//! network of machines appear to users and programs as a single computer;
+//! machine boundaries are completely hidden during normal operation" (§1).
+
+use locus::{Cluster, Errno, MachineType, OpenMode, Signal, SiteId};
+
+fn s(i: u32) -> SiteId {
+    SiteId(i)
+}
+
+fn cluster() -> Cluster {
+    Cluster::builder()
+        .vax_sites(4)
+        .filegroup("root", &[0, 1])
+        .build()
+}
+
+#[test]
+fn files_look_identical_from_every_site() {
+    let c = cluster();
+    let writer = c.login(s(3), 1).unwrap();
+    c.write_file(writer, "/motd", b"welcome to LOCUS").unwrap();
+    c.settle();
+    for i in 0..4 {
+        let p = c.login(s(i), 1).unwrap();
+        assert_eq!(c.read_file(p, "/motd").unwrap(), b"welcome to LOCUS");
+        // Names carry no location information (§2.1).
+        let st = c.stat(p, "/motd").unwrap();
+        assert_eq!(st.size, 16);
+    }
+}
+
+#[test]
+fn process_tree_spans_sites_transparently() {
+    let c = cluster();
+    let shell = c.login(s(0), 1).unwrap();
+    let child = c.fork(shell, Some(s(2))).unwrap();
+    assert_eq!(c.site_of(child).unwrap(), s(2));
+    // The remote child writes a file; the parent reads it by name.
+    c.write_file(child, "/child-output", b"from site 2")
+        .unwrap();
+    assert_eq!(c.read_file(shell, "/child-output").unwrap(), b"from site 2");
+    // Exit/wait semantics are unchanged by distribution (§3).
+    c.exit(child, 0).unwrap();
+    assert_eq!(c.signals(shell).unwrap(), vec![Signal::Sigchld]);
+    let (pid, _) = c.wait(shell).unwrap().unwrap();
+    assert_eq!(pid, child);
+}
+
+#[test]
+fn run_call_selects_site_by_load_module_availability() {
+    // §2.4.1 + §3.1: a PDP-11 and a VAX share /bin/sort as a hidden
+    // directory; `run` lands the program on a site whose machine type has
+    // a load module.
+    let c = Cluster::builder()
+        .site(MachineType::Vax)
+        .site(MachineType::Pdp11)
+        .filegroup("root", &[0, 1])
+        .build();
+    let shell = c.login(s(0), 1).unwrap();
+    c.mkdir(shell, "/bin").unwrap();
+    c.mk_hidden_dir(shell, "/bin/sort").unwrap();
+    // Only a PDP-11 load module exists.
+    c.write_file(shell, "/bin/sort@/45", b"PDP LOAD MODULE")
+        .unwrap();
+    c.settle();
+
+    // Advice prefers site 0 (VAX) but only site 1 (PDP-11) can resolve
+    // the module, so execution transparently lands there.
+    let job = c.run(shell, "/bin/sort", &[s(0), s(1)]).unwrap();
+    assert_eq!(c.site_of(job).unwrap(), s(1));
+    let p = c.procs().get(job).unwrap();
+    assert_eq!(p.load_module.as_deref(), Some("/bin/sort"));
+}
+
+#[test]
+fn pipes_connect_processes_on_different_sites() {
+    let c = cluster();
+    let a = c.login(s(0), 1).unwrap();
+    let b = c.login(s(3), 1).unwrap();
+    c.mkfifo(a, "/comm").unwrap();
+    c.settle();
+    let wfd = c.open(a, "/comm", OpenMode::Write).unwrap();
+    let rfd = c.open(b, "/comm", OpenMode::Read).unwrap();
+    c.write(a, wfd, b"cross-site message").unwrap();
+    assert_eq!(c.read(b, rfd, 64).unwrap(), b"cross-site message");
+    c.close(a, wfd).unwrap();
+    c.close(b, rfd).unwrap();
+}
+
+#[test]
+fn broken_pipe_raises_sigpipe() {
+    let c = cluster();
+    let a = c.login(s(0), 1).unwrap();
+    c.mkfifo(a, "/p").unwrap();
+    let wfd = c.open(a, "/p", OpenMode::Write).unwrap();
+    // No reader attached: the write breaks.
+    assert_eq!(c.write(a, wfd, b"x").unwrap_err(), Errno::Epipe);
+    assert!(c.signals(a).unwrap().contains(&Signal::Sigpipe));
+    c.close(a, wfd).unwrap();
+}
+
+#[test]
+fn replication_factor_is_per_process_state() {
+    let c = Cluster::builder()
+        .vax_sites(3)
+        .filegroup("root", &[0, 1, 2])
+        .build();
+    let p = c.login(s(0), 1).unwrap();
+    // Default: as replicated as the parent directory (3 copies).
+    c.write_file(p, "/wide", b"x").unwrap();
+    c.settle();
+    assert_eq!(c.stat(p, "/wide").unwrap().replicas.len(), 3);
+    // Restricted to one copy via the §2.3.7 system call.
+    c.set_ncopies(p, 1).unwrap();
+    c.write_file(p, "/narrow", b"y").unwrap();
+    c.settle();
+    assert_eq!(c.stat(p, "/narrow").unwrap().replicas.len(), 1);
+}
+
+#[test]
+fn nested_transactions_through_the_facade() {
+    let c = cluster();
+    let p = c.login(s(0), 1).unwrap();
+    c.write_file(p, "/acct", b"balance=100").unwrap();
+    c.settle();
+    let top = c.txn_begin(p).unwrap();
+    let sub = c.txn_sub(top, s(1)).unwrap();
+    c.txn_write(sub, p, "/acct", b"balance=40").unwrap();
+    c.txn_commit(sub).unwrap();
+    assert_eq!(c.read_file(p, "/acct").unwrap(), b"balance=100", "not yet");
+    c.txn_commit(top).unwrap();
+    c.settle();
+    assert_eq!(c.read_file(p, "/acct").unwrap(), b"balance=40");
+}
+
+#[test]
+fn descriptor_sharing_after_remote_fork() {
+    let c = cluster();
+    let parent = c.login(s(0), 1).unwrap();
+    c.write_file(parent, "/data", b"0123456789").unwrap();
+    c.settle();
+    let fd = c.open(parent, "/data", OpenMode::Read).unwrap();
+    assert_eq!(c.read(parent, fd, 4).unwrap(), b"0123");
+    // Remote fork: the child inherits the descriptor *and its offset*.
+    let child = c.fork(parent, Some(s(2))).unwrap();
+    assert_eq!(c.read(child, fd, 3).unwrap(), b"456");
+    assert_eq!(c.read(parent, fd, 3).unwrap(), b"789");
+}
+
+#[test]
+fn remote_devices_are_name_transparent() {
+    let c = cluster();
+    let owner = c.login(s(1), 1).unwrap();
+    c.mknod_device(owner, "/dev-console", locus_fs_device_kind())
+        .unwrap();
+    c.settle();
+    let remote = c.login(s(3), 1).unwrap();
+    let fd = c.open(remote, "/dev-console", OpenMode::Write).unwrap();
+    c.write(remote, fd, b"printed remotely").unwrap();
+    c.close(remote, fd).unwrap();
+    let gfid = c.resolve(owner, "/dev-console").unwrap();
+    let out = c
+        .fs()
+        .with_kernel(s(1), |k| k.device_mut(gfid).unwrap().output().to_vec());
+    assert_eq!(out, b"printed remotely");
+}
+
+fn locus_fs_device_kind() -> locus_fs::device::DeviceKind {
+    locus_fs::device::DeviceKind::Console
+}
+
+#[test]
+fn exec_reads_load_module_and_moves_process() {
+    let c = cluster();
+    let shell = c.login(s(0), 1).unwrap();
+    c.mkdir(shell, "/bin").unwrap();
+    c.write_file(shell, "/bin/prog", &vec![0xAA; 3000]).unwrap();
+    c.settle();
+    c.set_advice(shell, &[s(2)]).unwrap();
+    c.exec(shell, "/bin/prog").unwrap();
+    assert_eq!(
+        c.site_of(shell).unwrap(),
+        s(2),
+        "process moved at exec time"
+    );
+    let p = c.procs().get(shell).unwrap();
+    assert_eq!(p.image_pages, 3, "image sized from the load module");
+}
