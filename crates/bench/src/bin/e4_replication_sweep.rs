@@ -13,8 +13,7 @@
 //! Run with `cargo run -p locus-bench --bin e4_replication_sweep`.
 
 use locus::{Cluster, OpenMode, SiteId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use locus_net::SimRng;
 
 const SITES: u32 = 6;
 const TRIALS: u32 = 200;
@@ -37,7 +36,7 @@ fn main() {
         cluster.write_file(admin, "/f", b"payload").expect("seed");
         cluster.settle();
 
-        let mut rng = StdRng::seed_from_u64(42 + copies as u64);
+        let mut rng = SimRng::seed_from_u64(42 + copies as u64);
         let mut read_ok = 0u32;
         let mut locus_update_ok = 0u32;
         let mut primary_update_ok = 0u32;

@@ -6,7 +6,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use locus_net::Net;
+use locus_net::{FaultPlan, FaultSpec, Net};
 use locus_topology::partition::{partition_all, partition_protocol};
 use locus_types::SiteId;
 
@@ -80,6 +80,41 @@ fn main() {
             "-"
         );
         assert_eq!(outs.len(), 1, "a single failure must not fragment the net");
+    }
+    // Case D: lossy links — injected drops are retried, not mistaken for
+    // departed sites. Protocol messages (the §5.4 poll/announce exchanges)
+    // are reported separately from the retransmissions the loss forced.
+    println!();
+    println!("under injected message loss (drop=0.20, seed 1, deterministic):\n");
+    println!(
+        "{:<8} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "sites", "protocol", "dropped", "retries", "members", "consensus"
+    );
+    for n in [4u32, 8, 16, 32] {
+        let net = Net::new(n as usize);
+        net.install_faults(FaultPlan::new(1).default_spec(FaultSpec::drop_rate(0.20)));
+        net.reset_stats();
+        let mut beliefs = full_beliefs(n);
+        let out = partition_protocol(&net, SiteId(0), &mut beliefs);
+        let st = net.stats();
+        let consensus = out
+            .members
+            .iter()
+            .all(|m| beliefs.get(m) == Some(&out.members));
+        println!(
+            "{:<8} {:>10} {:>9} {:>9} {:>9} {:>10}",
+            n,
+            out.polls + out.announcements,
+            st.total_drops(),
+            st.total_retries(),
+            out.members.len(),
+            consensus
+        );
+        assert_eq!(
+            out.members.len(),
+            n as usize,
+            "a lossy link must not be treated as a down site"
+        );
     }
     println!();
     println!("paper: \"the partition algorithm should find maximum partitions:");

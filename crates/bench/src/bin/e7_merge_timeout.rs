@@ -7,7 +7,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use locus_net::Net;
+use locus_net::{FaultPlan, FaultSpec, Net};
 use locus_topology::merge::{merge_protocol, MergeTimeouts};
 use locus_types::{SiteId, Ticks};
 
@@ -80,6 +80,36 @@ fn main() {
             t_a.to_string(),
             t_f.to_string(),
             m
+        );
+    }
+    // Lossy merge: injected drops force retransmissions but must not
+    // shrink the merged partition. Protocol messages (§5.5 poll/info/
+    // announce) are reported separately from the loss-forced retries.
+    println!();
+    println!("under injected message loss (drop=0.20, seed 7, deterministic):\n");
+    println!(
+        "{:<8} {:>10} {:>9} {:>9} {:>9}",
+        "sites", "protocol", "dropped", "retries", "members"
+    );
+    for n in [4u32, 8, 16, 32] {
+        let net = Net::new(n as usize);
+        net.install_faults(FaultPlan::new(7).default_spec(FaultSpec::drop_rate(0.20)));
+        net.reset_stats();
+        let mut beliefs = beliefs_split(n, n / 2);
+        let out = merge_protocol(&net, SiteId(0), &mut beliefs, adaptive);
+        let st = net.stats();
+        println!(
+            "{:<8} {:>10} {:>9} {:>9} {:>9}",
+            n,
+            out.polls + out.replies + (out.members.len() as u32 - 1),
+            st.total_drops(),
+            st.total_retries(),
+            out.members.len()
+        );
+        assert_eq!(
+            out.members.len(),
+            n as usize,
+            "a lossy link must not shrink the merge"
         );
     }
     println!();

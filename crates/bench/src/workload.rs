@@ -1,8 +1,7 @@
 //! Seeded workload generators for the experiment harnesses.
 
 use locus::{Cluster, OpenMode, Pid, SiteId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use locus_net::SimRng;
 
 /// One step of a multi-user file workload.
 #[derive(Clone, Debug)]
@@ -43,13 +42,13 @@ pub struct Workload {
 /// with a read-mostly mix (directories see far more lookups than updates,
 /// §2.2.1).
 pub fn generate(seed: u64, n_users: usize, n_files: usize, n_ops: usize) -> Workload {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut ops = Vec::with_capacity(n_ops);
     for _ in 0..n_ops {
         let user = rng.gen_range(0..n_users);
         let file = rng.gen_range(0..n_files);
         let path = format!("/work/f{file}");
-        let roll: f64 = rng.gen();
+        let roll = rng.gen_f64();
         if roll < 0.70 {
             ops.push(Op::Read { user, path });
         } else if roll < 0.95 {

@@ -1,6 +1,6 @@
 //! Filesystem image and cluster construction (`mkfs` for the simulation).
 
-use locus_net::{LatencyModel, Net};
+use locus_net::{LatencyModel, Net, RetryPolicy};
 use locus_storage::{DiskInode, Pack, Superblock};
 use locus_types::{FileType, FilegroupId, Gfid, Ino, MachineType, PackId, Perms, SiteId};
 
@@ -38,6 +38,7 @@ pub struct FsClusterBuilder {
     blocks_per_pack: u32,
     inos_per_fg: u32,
     latency: LatencyModel,
+    retry: RetryPolicy,
 }
 
 impl Default for FsClusterBuilder {
@@ -55,6 +56,7 @@ impl FsClusterBuilder {
             blocks_per_pack: 8192,
             inos_per_fg: 4096,
             latency: LatencyModel::ethernet_1983(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -102,6 +104,13 @@ impl FsClusterBuilder {
     /// Overrides the latency model.
     pub fn latency(mut self, latency: LatencyModel) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Overrides the rpc retry/backoff policy (the knob chaos tests turn
+    /// up when running under heavy injected loss).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -235,7 +244,9 @@ impl FsClusterBuilder {
                 kernels[site.index()].attach_pack(pack);
             }
         }
-        FsCluster::from_parts(net, kernels)
+        let fsc = FsCluster::from_parts(net, kernels);
+        fsc.set_retry_policy(self.retry);
+        fsc
     }
 }
 

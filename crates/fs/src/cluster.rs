@@ -19,7 +19,7 @@
 use std::cell::{Cell, RefCell, RefMut};
 use std::collections::VecDeque;
 
-use locus_net::Net;
+use locus_net::{Net, NetError, RetryPolicy};
 use locus_types::{Errno, SiteId, SysResult};
 
 use crate::kernel::FsKernel;
@@ -33,6 +33,7 @@ pub struct FsCluster {
     pub(crate) pending: RefCell<VecDeque<(SiteId, SiteId, FsMsg)>>,
     pub(crate) next_shared: Cell<u64>,
     pub(crate) mail_seq: Cell<u32>,
+    pub(crate) retry: Cell<RetryPolicy>,
 }
 
 impl FsCluster {
@@ -46,7 +47,18 @@ impl FsCluster {
             pending: RefCell::new(VecDeque::new()),
             next_shared: Cell::new(1),
             mail_seq: Cell::new(1),
+            retry: Cell::new(RetryPolicy::default()),
         }
+    }
+
+    /// The retry/backoff policy the rpc layer applies under message loss.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry.get()
+    }
+
+    /// Replaces the rpc retry/backoff policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.retry.set(policy);
     }
 
     /// Number of sites.
@@ -83,37 +95,72 @@ impl FsCluster {
     /// Synchronous remote procedure call (§2.3.2): request message, remote
     /// handler, reply message. A same-site "call" is a plain procedure
     /// call with no network traffic.
+    ///
+    /// Under fault injection the call is resilient within the cluster's
+    /// [`RetryPolicy`]: a dropped *request* never ran the handler and is
+    /// always retried (after exponential backoff charged to the virtual
+    /// clock); a dropped *reply* closed the circuit mid-conversation
+    /// (§5.1), so the request is re-issued only if it is
+    /// [idempotent](FsMsg::idempotent) — otherwise the ambiguity surfaces
+    /// as `Esitedown` and recovery reconciles.
     pub(crate) fn rpc(&self, from: SiteId, to: SiteId, msg: FsMsg) -> SysResult<FsReply> {
         if from == to {
             return self.dispatch(to, from, msg);
         }
         let kind = msg.kind();
         let reply_kind = msg.reply_kind();
-        self.net
-            .send(from, to, kind, msg.wire_bytes())
-            .map_err(|_| Errno::Esitedown)?;
-        let result = self.dispatch(to, from, msg);
-        // The reply (even an error reply) crosses the network too; if the
-        // partition changed while the handler ran, the reply is lost.
-        let bytes = match &result {
-            Ok(reply) => reply.wire_bytes(),
-            Err(_) => crate::cost::CONTROL_MSG_BYTES,
-        };
-        self.net
-            .send(to, from, reply_kind, bytes)
-            .map_err(|_| Errno::Esitedown)?;
-        result
+        let policy = self.retry.get();
+        let mut attempt = 0u32;
+        loop {
+            match self.net.send(from, to, kind, msg.wire_bytes()) {
+                Ok(()) => {}
+                Err(NetError::CircuitClosed) => {
+                    // The closed-circuit notice left by a lost reply (§5.1)
+                    // is local knowledge, not a wire transmission: acknowledge
+                    // it and reopen immediately, without spending an attempt.
+                    self.net.note_retry(kind);
+                    continue;
+                }
+                Err(e) if e.is_transient() && attempt + 1 < policy.max_attempts => {
+                    self.net.charge_timeout(policy.backoff(attempt));
+                    self.net.note_retry(kind);
+                    attempt += 1;
+                    continue;
+                }
+                Err(_) => return Err(Errno::Esitedown),
+            }
+            let result = self.dispatch(to, from, msg.clone());
+            // The reply (even an error reply) crosses the network too; if
+            // the partition changed while the handler ran, the reply is
+            // lost.
+            let bytes = match &result {
+                Ok(reply) => reply.wire_bytes(),
+                Err(_) => crate::cost::CONTROL_MSG_BYTES,
+            };
+            match self.net.send_reply(to, from, reply_kind, bytes) {
+                Ok(()) => return result,
+                Err(NetError::ReplyLost)
+                    if msg.idempotent() && attempt + 1 < policy.max_attempts =>
+                {
+                    self.net.charge_timeout(policy.backoff(attempt));
+                    self.net.note_retry(kind);
+                    attempt += 1;
+                }
+                Err(_) => return Err(Errno::Esitedown),
+            }
+        }
     }
 
     /// One-way message with only low-level acknowledgement (the write
     /// protocol and commit notifications, §2.3.5–2.3.6): one message, no
-    /// reply message, delivered and handled immediately.
+    /// reply message, delivered and handled immediately. A dropped send
+    /// never reached the handler, so it is always safe to retry.
     pub(crate) fn one_way(&self, from: SiteId, to: SiteId, msg: FsMsg) -> SysResult<FsReply> {
         if from == to {
             return self.dispatch(to, from, msg);
         }
         self.net
-            .send(from, to, msg.kind(), msg.wire_bytes())
+            .send_with_retry(from, to, msg.kind(), msg.wire_bytes(), &self.retry.get())
             .map_err(|_| Errno::Esitedown)?;
         self.dispatch(to, from, msg)
     }

@@ -35,7 +35,10 @@ impl CssState {
     /// Registers an open decision.
     pub fn register(&mut self, us: SiteId, ss: SiteId, mode: OpenMode) -> SysResult<()> {
         if mode.is_write() {
-            if self.writer.is_some() {
+            // Re-registration by the site already holding the write slot
+            // is a retried open whose reply was lost; the single
+            // registration stands.
+            if self.writer.is_some_and(|w| w != us) {
                 return Err(Errno::Etxtbsy);
             }
             self.writer = Some(us);

@@ -149,11 +149,23 @@ pub fn read(fsc: &FsCluster, site: SiteId, fd: Fd, n: usize) -> SysResult<Vec<u8
             let npages = (size as usize).div_ceil(PAGE_SIZE);
             let mut out = Vec::with_capacity((end - offset) as usize);
             let mut pos = offset;
+            let mut ss = ss;
             while pos < end {
                 let lpn = (pos / PAGE_SIZE as u64) as usize;
                 let in_off = (pos % PAGE_SIZE as u64) as usize;
                 let take = ((PAGE_SIZE - in_off) as u64).min(end - pos) as usize;
-                let page = get_page(fsc, site, gfid, ss, lpn, npages)?;
+                let page = match get_page(fsc, site, gfid, ss, lpn, npages) {
+                    Ok(p) => p,
+                    Err(Errno::Esitedown) => {
+                        // The SS dropped out mid-read: degrade gracefully
+                        // by re-running the open protocol to select
+                        // another reachable storage site for the
+                        // remaining pages, instead of failing the read.
+                        ss = reselect_ss(fsc, site, fd, gfid, ss)?;
+                        get_page(fsc, site, gfid, ss, lpn, npages)?
+                    }
+                    Err(e) => return Err(e),
+                };
                 out.extend_from_slice(&page[in_off..in_off + take]);
                 pos += take as u64;
             }
@@ -162,6 +174,28 @@ pub fn read(fsc: &FsCluster, site: SiteId, fd: Fd, n: usize) -> SysResult<Vec<u8
             Ok(out)
         }
     }
+}
+
+/// Storage-site failover for an ongoing read (§5.6 spirit: a partition
+/// change aborts the circuit, but the *system call* recovers where a
+/// replica remains reachable). Runs the open protocol again — the CSS
+/// polls the surviving packs — and repoints the descriptor at the new SS.
+fn reselect_ss(
+    fsc: &FsCluster,
+    site: SiteId,
+    fd: Fd,
+    gfid: Gfid,
+    failed: SiteId,
+) -> SysResult<SiteId> {
+    let t = open_gfid(fsc, site, gfid, OpenMode::Read)?;
+    // Only the site selection is needed; release the extra registration.
+    let _ = close_ticket(fsc, site, &t);
+    if t.ss == failed {
+        return Err(Errno::Esitedown);
+    }
+    let mut k = fsc.kernel(site);
+    k.fd_mut(fd)?.ss = t.ss;
+    Ok(t.ss)
 }
 
 /// Writes `data` at the descriptor's offset.

@@ -410,6 +410,25 @@ impl FsMsg {
             _ => crate::cost::CONTROL_MSG_BYTES,
         }
     }
+
+    /// Whether the request may be *re-issued* after its reply was lost —
+    /// i.e. the remote handler may have already run once. Requests whose
+    /// effect is a query, a set insertion, or an open registration that
+    /// tolerates repetition qualify; state transitions that must happen
+    /// exactly once (commit, close bookkeeping, token transfers, creates)
+    /// do not — a lost reply there surfaces as an error and the §5.6
+    /// cleanup / recovery procedures reconcile.
+    pub fn idempotent(&self) -> bool {
+        matches!(
+            self,
+            FsMsg::OpenReq { .. }
+                | FsMsg::SsPoll { .. }
+                | FsMsg::ReadPage { .. }
+                | FsMsg::PullOpen { .. }
+                | FsMsg::AbortChanges { .. }
+                | FsMsg::Invalidate { .. }
+        )
+    }
 }
 
 impl FsReply {

@@ -17,6 +17,10 @@ use locus_types::SiteId;
 #[derive(Debug, Default)]
 pub struct CircuitTable {
     open: BTreeSet<(SiteId, SiteId)>,
+    /// Pairs whose circuit failed mid-conversation (e.g. a lost reply);
+    /// the next send between such a pair is refused with `CircuitClosed`
+    /// so the ongoing activity observes the abort (§5.1).
+    aborted: BTreeSet<(SiteId, SiteId)>,
 }
 
 fn key(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
@@ -46,6 +50,19 @@ impl CircuitTable {
     /// Closes the circuit between the pair (idempotent).
     pub fn close_pair(&mut self, a: SiteId, b: SiteId) {
         self.open.remove(&key(a, b));
+    }
+
+    /// Closes the circuit between the pair *mid-conversation*: the pair is
+    /// additionally marked aborted, so the next send attempt between them
+    /// observes `CircuitClosed` before a fresh circuit can open.
+    pub fn abort_pair(&mut self, a: SiteId, b: SiteId) {
+        self.open.remove(&key(a, b));
+        self.aborted.insert(key(a, b));
+    }
+
+    /// Consumes the pair's abort mark, returning whether one was set.
+    pub fn take_abort(&mut self, a: SiteId, b: SiteId) -> bool {
+        self.aborted.remove(&key(a, b))
     }
 
     /// Closes every circuit involving `site`; returns how many closed.
@@ -90,6 +107,16 @@ mod tests {
         assert_eq!(t.close_involving(SiteId(0)), 2);
         assert_eq!(t.open_count(), 1);
         assert!(t.is_open(SiteId(1), SiteId(2)));
+    }
+
+    #[test]
+    fn abort_marks_are_consumed_once() {
+        let mut t = CircuitTable::new();
+        t.ensure_open(SiteId(0), SiteId(1));
+        t.abort_pair(SiteId(1), SiteId(0));
+        assert!(!t.is_open(SiteId(0), SiteId(1)));
+        assert!(t.take_abort(SiteId(0), SiteId(1)));
+        assert!(!t.take_abort(SiteId(0), SiteId(1)), "mark consumed");
     }
 
     #[test]

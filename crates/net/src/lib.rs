@@ -24,6 +24,7 @@
 
 pub mod circuit;
 pub mod clock;
+pub mod fault;
 pub mod latency;
 pub mod stats;
 pub mod topology;
@@ -35,10 +36,13 @@ use locus_types::{SiteId, Ticks};
 
 pub use circuit::CircuitTable;
 pub use clock::VirtualClock;
+pub use fault::{FaultAction, FaultPlan, FaultSpec, RetryPolicy, ScheduledFault, SimRng};
 pub use latency::LatencyModel;
 pub use stats::NetStats;
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};
+
+use fault::{FaultInjector, Verdict};
 
 /// Errors surfaced by the network layer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,6 +55,25 @@ pub enum NetError {
     /// A site attempted to send a network message to itself; local service
     /// must be performed by direct procedure call (§2.3.3).
     SelfSend,
+    /// The message was lost to an injected fault. The destination never
+    /// saw it; the sender may safely retry ([`Net::send_with_retry`]).
+    Dropped,
+    /// A *reply* was lost to an injected fault. The request was already
+    /// served, so the conversation is ambiguous: the circuit closes
+    /// (§5.1) and the next send between the pair observes
+    /// [`NetError::CircuitClosed`].
+    ReplyLost,
+}
+
+impl NetError {
+    /// Whether resending the same message can succeed without help from
+    /// a reconfiguration step (transient fault, not a topology change).
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            NetError::Dropped | NetError::ReplyLost | NetError::CircuitClosed
+        )
+    }
 }
 
 impl core::fmt::Display for NetError {
@@ -59,6 +82,8 @@ impl core::fmt::Display for NetError {
             NetError::Unreachable => "destination unreachable",
             NetError::CircuitClosed => "virtual circuit closed",
             NetError::SelfSend => "network send to self",
+            NetError::Dropped => "message dropped by fault injection",
+            NetError::ReplyLost => "reply dropped by fault injection",
         };
         f.write_str(s)
     }
@@ -90,6 +115,34 @@ struct Inner {
     latency: LatencyModel,
     stats: NetStats,
     trace: Trace,
+    faults: FaultInjector,
+}
+
+impl Inner {
+    /// Applies every scheduled fault event the virtual clock has passed.
+    /// Called lazily on entry to the send and reachability paths, so
+    /// crash/revive/flap schedules take effect exactly when simulated time
+    /// reaches them, whatever advanced the clock.
+    fn apply_due_faults(&mut self) {
+        let now = self.clock.now();
+        for action in self.faults.due_events(now) {
+            match action {
+                FaultAction::Crash(site) => {
+                    self.topology.set_up(site, false);
+                    self.stats.circuits_closed += self.circuits.close_involving(site);
+                }
+                FaultAction::Revive(site) => self.topology.set_up(site, true),
+                FaultAction::LinkDown(a, b) => {
+                    self.topology.set_link(a, b, false);
+                    if self.circuits.is_open(a, b) {
+                        self.circuits.close_pair(a, b);
+                        self.stats.circuits_closed += 1;
+                    }
+                }
+                FaultAction::LinkUp(a, b) => self.topology.set_link(a, b, true),
+            }
+        }
+    }
 }
 
 impl Net {
@@ -109,8 +162,21 @@ impl Net {
                 latency,
                 stats: NetStats::new(),
                 trace: Trace::new(),
+                faults: FaultInjector::inert(),
             }),
         }
+    }
+
+    /// Installs a fault-injection plan (replacing any previous one and
+    /// rewinding its RNG to the plan's seed). Already-scheduled events
+    /// whose time has passed fire on the next send.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        self.inner.borrow_mut().faults = FaultInjector::new(plan);
+    }
+
+    /// Removes fault injection; subsequent traffic is delivered cleanly.
+    pub fn clear_faults(&self) {
+        self.inner.borrow_mut().faults = FaultInjector::inert();
     }
 
     /// Number of sites (live or not).
@@ -124,7 +190,9 @@ impl Net {
     /// per-kind statistics are updated and a trace event is recorded. A
     /// failed send (unreachable destination) closes any circuit between the
     /// pair and is counted separately; timeout accounting is the caller's
-    /// policy.
+    /// policy. Under an installed [`FaultPlan`] the message may also be
+    /// dropped ([`NetError::Dropped`] — safe to retry), duplicated, or
+    /// delayed.
     pub fn send(
         &self,
         from: SiteId,
@@ -132,7 +200,33 @@ impl Net {
         kind: &'static str,
         bytes: usize,
     ) -> Result<(), NetError> {
+        self.send_impl(from, to, kind, bytes, false)
+    }
+
+    /// Sends a *reply* message: like [`Net::send`], except an injected
+    /// drop is a [`NetError::ReplyLost`] — the request was already served,
+    /// so the circuit is closed mid-conversation and the pair's next send
+    /// observes [`NetError::CircuitClosed`] (§5.1).
+    pub fn send_reply(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        kind: &'static str,
+        bytes: usize,
+    ) -> Result<(), NetError> {
+        self.send_impl(from, to, kind, bytes, true)
+    }
+
+    fn send_impl(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        kind: &'static str,
+        bytes: usize,
+        is_reply: bool,
+    ) -> Result<(), NetError> {
         let mut g = self.inner.borrow_mut();
+        g.apply_due_faults();
         if from == to {
             return Err(NetError::SelfSend);
         }
@@ -141,10 +235,39 @@ impl Net {
             g.stats.record_failure(kind);
             return Err(NetError::Unreachable);
         }
+        if g.circuits.take_abort(from, to) {
+            g.stats.record_failure(kind);
+            return Err(NetError::CircuitClosed);
+        }
         g.circuits.ensure_open(from, to);
-        let cost = g.latency.message_cost(bytes);
+        let verdict = g.faults.judge(from, to, kind);
+        // The message reaches the wire in every verdict: the sender pays
+        // transmission latency whether or not delivery happens.
+        let mut cost = g.latency.message_cost(bytes);
+        if let Verdict::Delay(extra) = verdict {
+            cost += extra;
+            g.stats.record_delay(kind);
+        }
         g.clock.advance(cost);
         let now = g.clock.now();
+        if verdict == Verdict::Drop {
+            g.stats.record_drop(kind);
+            g.trace.record(TraceEvent {
+                at: now,
+                from,
+                to,
+                kind,
+                bytes,
+                dropped: true,
+            });
+            return if is_reply {
+                g.circuits.abort_pair(from, to);
+                g.stats.circuits_closed += 1;
+                Err(NetError::ReplyLost)
+            } else {
+                Err(NetError::Dropped)
+            };
+        }
         g.stats.record(kind, bytes);
         g.trace.record(TraceEvent {
             at: now,
@@ -152,8 +275,64 @@ impl Net {
             to,
             kind,
             bytes,
+            dropped: false,
         });
+        if verdict == Verdict::Duplicate {
+            // The wire delivers a second copy; receivers are idempotent at
+            // the message level, so only the accounting notices.
+            let dup_cost = g.latency.message_cost(bytes);
+            g.clock.advance(dup_cost);
+            let at = g.clock.now();
+            g.stats.record_duplicate(kind);
+            g.trace.record(TraceEvent {
+                at,
+                from,
+                to,
+                kind,
+                bytes,
+                dropped: false,
+            });
+        }
         Ok(())
+    }
+
+    /// Sends with bounded retries under `policy`: each transient failure
+    /// (injected drop or a mid-conversation circuit abort) charges the
+    /// policy's exponential backoff to the virtual clock before the
+    /// resend, and is counted as a retry. Non-transient failures
+    /// (unreachable, self-send) return immediately.
+    pub fn send_with_retry(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        kind: &'static str,
+        bytes: usize,
+        policy: &RetryPolicy,
+    ) -> Result<(), NetError> {
+        let mut attempt = 0;
+        loop {
+            match self.send(from, to, kind, bytes) {
+                Ok(()) => return Ok(()),
+                Err(NetError::CircuitClosed) => {
+                    // A closed-circuit notice is local knowledge left by a
+                    // lost reply (§5.1), not a wire transmission; reopening
+                    // is immediate and spends no attempt.
+                    self.note_retry(kind);
+                }
+                Err(e) if e.is_transient() && attempt + 1 < policy.max_attempts => {
+                    self.charge_timeout(policy.backoff(attempt));
+                    self.note_retry(kind);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Counts one caller-level retry of `kind` in the statistics (used by
+    /// higher layers that re-issue whole RPCs rather than raw sends).
+    pub fn note_retry(&self, kind: &'static str) {
+        self.inner.borrow_mut().stats.record_retry(kind);
     }
 
     /// Accounts local (same-site) kernel work of `cost` ticks; used by the
@@ -171,23 +350,31 @@ impl Net {
     /// Whether `from` can currently communicate with `to` (both up, same
     /// connected component; a site always reaches itself while up).
     pub fn reachable(&self, from: SiteId, to: SiteId) -> bool {
-        self.inner.borrow().topology.can_communicate(from, to) || (from == to && self.is_up(from))
+        let mut g = self.inner.borrow_mut();
+        g.apply_due_faults();
+        g.topology.can_communicate(from, to)
     }
 
     /// Whether the site is up.
     pub fn is_up(&self, site: SiteId) -> bool {
-        self.inner.borrow().topology.is_up(site)
+        let mut g = self.inner.borrow_mut();
+        g.apply_due_faults();
+        g.topology.is_up(site)
     }
 
     /// All sites currently in `site`'s partition (including itself), in
     /// site order. Empty if the site is down.
     pub fn partition_of(&self, site: SiteId) -> Vec<SiteId> {
-        self.inner.borrow().topology.partition_of(site)
+        let mut g = self.inner.borrow_mut();
+        g.apply_due_faults();
+        g.topology.partition_of(site)
     }
 
     /// The current partitions (connected components of live sites).
     pub fn partitions(&self) -> Vec<Vec<SiteId>> {
-        self.inner.borrow().topology.components()
+        let mut g = self.inner.borrow_mut();
+        g.apply_due_faults();
+        g.topology.components()
     }
 
     /// Splits the network into the given groups: links inside a group are
@@ -272,9 +459,12 @@ impl Net {
     }
 
     /// Charges a timeout delay to the virtual clock (a poll that never got
-    /// an answer still costs wall-clock time, §5.5).
+    /// an answer still costs wall-clock time, §5.5). Scheduled fault
+    /// events the delay passes over take effect immediately.
     pub fn charge_timeout(&self, span: Ticks) {
-        self.inner.borrow_mut().clock.advance(span);
+        let mut g = self.inner.borrow_mut();
+        g.clock.advance(span);
+        g.apply_due_faults();
     }
 
     /// Number of currently open virtual circuits.
@@ -369,5 +559,133 @@ mod tests {
         assert!(!net.reachable(SiteId(0), SiteId(1)));
         assert!(!net.reachable(SiteId(0), SiteId(0)));
         assert!(net.reachable(SiteId(1), SiteId(1)));
+    }
+
+    #[test]
+    fn injected_drops_surface_and_are_counted() {
+        let net = Net::new(2);
+        net.set_tracing(true);
+        net.install_faults(FaultPlan::new(7).default_spec(FaultSpec::drop_rate(1.0)));
+        assert_eq!(net.send(SiteId(0), SiteId(1), "x", 8), Err(NetError::Dropped));
+        assert_eq!(net.stats().drops("x"), 1);
+        let tr = net.take_trace();
+        assert_eq!(tr.len(), 1);
+        assert!(tr[0].dropped);
+        // A dropped *request* leaves the circuit open for a retry.
+        assert_eq!(net.open_circuits(), 1);
+        net.clear_faults();
+        assert!(net.send(SiteId(0), SiteId(1), "x", 8).is_ok());
+    }
+
+    #[test]
+    fn dropped_reply_closes_circuit_and_surfaces_circuit_closed() {
+        // §5.1: failure of a virtual circuit mid-conversation aborts the
+        // ongoing activity. The request was served, the reply is lost: the
+        // circuit closes and the next send between the pair is refused.
+        let net = Net::new(2);
+        net.send(SiteId(0), SiteId(1), "OPEN req", 8).unwrap();
+        assert_eq!(net.open_circuits(), 1);
+        net.install_faults(FaultPlan::new(1).default_spec(FaultSpec::drop_rate(1.0)));
+        assert_eq!(
+            net.send_reply(SiteId(1), SiteId(0), "OPEN resp", 8),
+            Err(NetError::ReplyLost)
+        );
+        assert_eq!(net.open_circuits(), 0, "reply loss closed the circuit");
+        net.clear_faults();
+        assert_eq!(
+            net.send(SiteId(0), SiteId(1), "OPEN req", 8),
+            Err(NetError::CircuitClosed),
+            "the caller observes the abort"
+        );
+        // After the abort is observed, a fresh circuit opens normally.
+        assert!(net.send(SiteId(0), SiteId(1), "OPEN req", 8).is_ok());
+        assert_eq!(net.open_circuits(), 1);
+    }
+
+    #[test]
+    fn send_with_retry_rides_out_transient_drops() {
+        let net = Net::new(2);
+        // Seed chosen arbitrarily; with drop 0.5 and 10 attempts the
+        // (deterministic) sequence succeeds well before exhaustion.
+        net.install_faults(FaultPlan::new(11).default_spec(FaultSpec::drop_rate(0.5)));
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            ..RetryPolicy::default()
+        };
+        let t0 = net.now();
+        net.send_with_retry(SiteId(0), SiteId(1), "x", 8, &policy)
+            .expect("retries ride out drops");
+        let stats = net.stats();
+        assert_eq!(stats.sends("x"), 1);
+        assert_eq!(stats.retries("x"), stats.drops("x"), "one retry per drop");
+        if stats.drops("x") > 0 {
+            assert!(net.now() >= t0 + policy.base_backoff, "backoff was charged");
+        }
+    }
+
+    #[test]
+    fn send_with_retry_gives_up_on_unreachable() {
+        let net = Net::new(2);
+        net.crash(SiteId(1));
+        assert_eq!(
+            net.send_with_retry(SiteId(0), SiteId(1), "x", 8, &RetryPolicy::default()),
+            Err(NetError::Unreachable)
+        );
+        assert_eq!(net.stats().retries("x"), 0, "non-transient: no retries");
+    }
+
+    #[test]
+    fn scheduled_crash_window_follows_the_virtual_clock() {
+        let net = Net::new(2);
+        let at = net.now() + Ticks::millis(1);
+        let until = at + Ticks::millis(5);
+        net.install_faults(FaultPlan::new(0).crash_window(SiteId(1), at, until));
+        assert!(net.reachable(SiteId(0), SiteId(1)), "before the window");
+        net.charge_timeout(Ticks::millis(2));
+        assert!(!net.is_up(SiteId(1)), "inside the window");
+        assert_eq!(
+            net.send(SiteId(0), SiteId(1), "x", 8),
+            Err(NetError::Unreachable)
+        );
+        net.charge_timeout(Ticks::millis(10));
+        assert!(net.reachable(SiteId(0), SiteId(1)), "after the window");
+        assert!(net.send(SiteId(0), SiteId(1), "x", 8).is_ok());
+    }
+
+    #[test]
+    fn link_flap_closes_open_circuit_and_recovers() {
+        let net = Net::new(2);
+        net.send(SiteId(0), SiteId(1), "x", 8).unwrap();
+        let at = net.now() + Ticks::micros(1);
+        net.install_faults(FaultPlan::new(0).link_flap(
+            SiteId(0),
+            SiteId(1),
+            at,
+            at + Ticks::millis(1),
+        ));
+        net.charge_timeout(Ticks::micros(5));
+        assert_eq!(net.open_circuits(), 0, "flap closed the circuit");
+        assert!(!net.reachable(SiteId(0), SiteId(1)));
+        net.charge_timeout(Ticks::millis(2));
+        assert!(net.reachable(SiteId(0), SiteId(1)), "link restored");
+    }
+
+    #[test]
+    fn identical_seed_gives_identical_trace() {
+        let run = || {
+            let net = Net::new(3);
+            net.set_tracing(true);
+            net.install_faults(FaultPlan::new(99).default_spec(FaultSpec {
+                drop: 0.3,
+                duplicate: 0.1,
+                delay_prob: 0.2,
+                delay: Ticks::micros(150),
+            }));
+            for i in 0..40u32 {
+                let _ = net.send(SiteId(i % 3), SiteId((i + 1) % 3), "x", 16 + i as usize);
+            }
+            net.take_trace()
+        };
+        assert_eq!(run(), run());
     }
 }

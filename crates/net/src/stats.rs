@@ -13,6 +13,10 @@ pub struct NetStats {
     sends: BTreeMap<&'static str, u64>,
     bytes: BTreeMap<&'static str, u64>,
     fails: BTreeMap<&'static str, u64>,
+    drops: BTreeMap<&'static str, u64>,
+    dups: BTreeMap<&'static str, u64>,
+    delays: BTreeMap<&'static str, u64>,
+    retries: BTreeMap<&'static str, u64>,
     /// Circuits closed by partition changes or crashes.
     pub circuits_closed: u64,
 }
@@ -34,6 +38,26 @@ impl NetStats {
         *self.fails.entry(kind).or_insert(0) += 1;
     }
 
+    /// Records a message lost to injected fault (drop).
+    pub fn record_drop(&mut self, kind: &'static str) {
+        *self.drops.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Records an injected wire-level duplicate delivery.
+    pub fn record_duplicate(&mut self, kind: &'static str) {
+        *self.dups.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Records an injected delivery delay.
+    pub fn record_delay(&mut self, kind: &'static str) {
+        *self.delays.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Records one retry attempt (a resend provoked by a fault).
+    pub fn record_retry(&mut self, kind: &'static str) {
+        *self.retries.entry(kind).or_insert(0) += 1;
+    }
+
     /// Successful sends of `kind`.
     pub fn sends(&self, kind: &str) -> u64 {
         self.sends.get(kind).copied().unwrap_or(0)
@@ -47,6 +71,36 @@ impl NetStats {
     /// Bytes carried by successful sends of `kind`.
     pub fn bytes(&self, kind: &str) -> u64 {
         self.bytes.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Injected drops of `kind`.
+    pub fn drops(&self, kind: &str) -> u64 {
+        self.drops.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Retries of `kind`.
+    pub fn retries(&self, kind: &str) -> u64 {
+        self.retries.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total injected drops across all kinds.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// Total injected duplicates across all kinds.
+    pub fn total_duplicates(&self) -> u64 {
+        self.dups.values().sum()
+    }
+
+    /// Total injected delays across all kinds.
+    pub fn total_delays(&self) -> u64 {
+        self.delays.values().sum()
+    }
+
+    /// Total retries across all kinds.
+    pub fn total_retries(&self) -> u64 {
+        self.retries.values().sum()
     }
 
     /// Total successful sends across all kinds.
@@ -96,6 +150,22 @@ mod tests {
         assert_eq!(s.failures("OPEN req"), 1);
         assert_eq!(s.total_sends(), 3);
         assert_eq!(s.total_bytes(), 4160);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut s = NetStats::new();
+        s.record_drop("OPEN req");
+        s.record_drop("OPEN req");
+        s.record_duplicate("READ resp");
+        s.record_delay("SS poll");
+        s.record_retry("OPEN req");
+        assert_eq!(s.drops("OPEN req"), 2);
+        assert_eq!(s.total_drops(), 2);
+        assert_eq!(s.total_duplicates(), 1);
+        assert_eq!(s.total_delays(), 1);
+        assert_eq!(s.retries("OPEN req"), 1);
+        assert_eq!(s.total_retries(), 1);
     }
 
     #[test]

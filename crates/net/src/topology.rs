@@ -84,13 +84,15 @@ impl Topology {
         }
     }
 
-    /// Whether two *distinct* sites can communicate: both up and in the
-    /// same connected component of the live-link graph (transitivity).
+    /// Whether two sites can communicate: both up and in the same
+    /// connected component of the live-link graph (transitivity). A site
+    /// always communicates with itself while it is up (local service is a
+    /// procedure call, §2.3.3) and never while down.
     pub fn can_communicate(&self, a: SiteId, b: SiteId) -> bool {
-        if a == b || !self.is_up(a) || !self.is_up(b) {
+        if !self.is_up(a) || !self.is_up(b) {
             return false;
         }
-        self.component_of(a).contains(&b)
+        a == b || self.component_of(a).contains(&b)
     }
 
     /// All live sites reachable from `s` (including `s`), in site order.
@@ -153,6 +155,16 @@ mod tests {
         let t = Topology::new(4);
         assert_eq!(t.components().len(), 1);
         assert!(t.can_communicate(s(0), s(3)));
+    }
+
+    #[test]
+    fn self_communication_tracks_liveness() {
+        let mut t = Topology::new(2);
+        assert!(t.can_communicate(s(0), s(0)));
+        t.set_up(s(0), false);
+        assert!(!t.can_communicate(s(0), s(0)));
+        t.set_up(s(0), true);
+        assert!(t.can_communicate(s(0), s(0)));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use locus_net::Net;
+use locus_net::{Net, RetryPolicy};
 use locus_types::{SiteId, Ticks};
 
 /// Bytes per merge-protocol message.
@@ -68,23 +68,32 @@ pub fn merge_protocol(
     beliefs: &mut BTreeMap<SiteId, BTreeSet<SiteId>>,
     timeouts: MergeTimeouts,
 ) -> MergeOutcome {
+    let retry = RetryPolicy::default();
     let n = net.site_count() as u32;
     let mut members: BTreeSet<SiteId> = [initiator].into_iter().collect();
     let mut polls = 0;
     let mut replies = 0;
 
-    // Asynchronous poll of every site in the network.
+    // Asynchronous poll of every site in the network. Both legs are
+    // retried within the policy so an injected drop does not shrink the
+    // merged partition; only persistently unreachable sites are skipped.
     for i in 0..n {
         let site = SiteId(i);
         if site == initiator {
             continue;
         }
         polls += 1;
-        if net.send(initiator, site, "MERGE poll", MSG_BYTES).is_err() {
+        if net
+            .send_with_retry(initiator, site, "MERGE poll", MSG_BYTES, &retry)
+            .is_err()
+        {
             continue;
         }
         // The reply carries the responder's partition information.
-        if net.send(site, initiator, "MERGE info", MSG_BYTES).is_ok() {
+        if net
+            .send_with_retry(site, initiator, "MERGE info", MSG_BYTES, &retry)
+            .is_ok()
+        {
             replies += 1;
             members.insert(site);
         }
@@ -111,7 +120,7 @@ pub fn merge_protocol(
     // Declare the new partition and broadcast its composition.
     for &site in &members {
         if site != initiator {
-            let _ = net.send(initiator, site, "MERGE announce", MSG_BYTES);
+            let _ = net.send_with_retry(initiator, site, "MERGE announce", MSG_BYTES, &retry);
         }
         beliefs.insert(site, members.clone());
     }
@@ -218,6 +227,16 @@ mod tests {
         let out = merge_protocol(&net, SiteId(0), &mut beliefs, MergeTimeouts::default());
         assert_eq!(out.polls, 4, "the protocol must check all possible sites");
         assert_eq!(net.stats().sends("MERGE poll"), 4);
+    }
+
+    #[test]
+    fn injected_drops_do_not_shrink_the_merge() {
+        use locus_net::{FaultPlan, FaultSpec};
+        let net = Net::new(4);
+        net.install_faults(FaultPlan::new(11).default_spec(FaultSpec::drop_rate(0.25)));
+        let mut beliefs = beliefs_of(&[&[0, 1], &[2, 3]]);
+        let out = merge_protocol(&net, SiteId(0), &mut beliefs, MergeTimeouts::default());
+        assert_eq!(out.members.len(), 4, "drops were retried, not treated as down");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use locus_net::Net;
+use locus_net::{Net, RetryPolicy};
 use locus_types::SiteId;
 
 /// Bytes per partition-protocol message.
@@ -45,6 +45,7 @@ pub fn partition_protocol(
     active: SiteId,
     beliefs: &mut BTreeMap<SiteId, BTreeSet<SiteId>>,
 ) -> PartitionOutcome {
+    let retry = RetryPolicy::default();
     let mut p_a: BTreeSet<SiteId> = beliefs
         .get(&active)
         .cloned()
@@ -60,7 +61,13 @@ pub fn partition_protocol(
         let pending: Vec<SiteId> = p_a.difference(&p_new).copied().collect();
         for site in pending {
             polls += 1;
-            if net.send(active, site, "PARTITION poll", MSG_BYTES).is_err() {
+            // Retried within the policy so an injected message drop is not
+            // mistaken for a departed site — only persistent unreachability
+            // removes a site from the partition.
+            if net
+                .send_with_retry(active, site, "PARTITION poll", MSG_BYTES, &retry)
+                .is_err()
+            {
                 // Cannot be reached: it is not in this partition.
                 p_a.remove(&site);
                 continue;
@@ -69,7 +76,7 @@ pub fn partition_protocol(
                 .get(&site)
                 .cloned()
                 .unwrap_or_else(|| [site].into_iter().collect());
-            let _ = net.send(site, active, "PARTITION poll resp", MSG_BYTES);
+            let _ = net.send_with_retry(site, active, "PARTITION poll resp", MSG_BYTES, &retry);
             // Pα := Pα ∩ P_pollsite — but the active site and the polled
             // site are in the new partition by construction.
             p_a = p_a.intersection(&p_polled).copied().collect();
@@ -86,7 +93,7 @@ pub fn partition_protocol(
     let mut announcements = 0;
     for &site in &p_new {
         if site != active {
-            let _ = net.send(active, site, "PARTITION announce", MSG_BYTES);
+            let _ = net.send_with_retry(active, site, "PARTITION announce", MSG_BYTES, &retry);
             announcements += 1;
         }
         beliefs.insert(site, p_new.clone());
@@ -189,6 +196,19 @@ mod tests {
         let out = partition_protocol(&net, SiteId(0), &mut beliefs);
         assert!(!out.members.contains(&SiteId(3)));
         assert_eq!(out.members.len(), 3);
+    }
+
+    #[test]
+    fn injected_drops_do_not_shrink_the_partition() {
+        use locus_net::{FaultPlan, FaultSpec};
+        // A lossy link is not a departed site: the retry policy absorbs
+        // injected drops, so the full partition is still found.
+        let net = Net::new(5);
+        net.install_faults(FaultPlan::new(7).default_spec(FaultSpec::drop_rate(0.25)));
+        let mut beliefs = full_beliefs(5);
+        let out = partition_protocol(&net, SiteId(0), &mut beliefs);
+        assert_eq!(out.members.len(), 5, "drops were retried, not treated as down");
+        assert!(net.stats().total_retries() > 0, "losses were in fact injected");
     }
 
     #[test]

@@ -10,8 +10,7 @@
 //! 4. no descriptor or incore-inode leaks.
 
 use locus::{Cluster, FilegroupId, OpenMode, Pid, SiteId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use locus_net::SimRng;
 
 const SITES: u32 = 4;
 const FILES: usize = 8;
@@ -24,11 +23,11 @@ fn run_stress(seed: u64, steps: usize) {
     let users: Vec<Pid> = (0..SITES)
         .map(|i| cluster.login(SiteId(i), 100 + i).expect("login"))
         .collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut partitioned = false;
 
     for step in 0..steps {
-        let roll: f64 = rng.gen();
+        let roll = rng.gen_f64();
         let site = rng.gen_range(0..SITES) as usize;
         let pid = users[site];
         let path = format!("/f{}", rng.gen_range(0..FILES));
@@ -162,12 +161,12 @@ fn stress_with_crashes() {
         .vax_sites(4)
         .filegroup("root", &[0, 1])
         .build();
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = SimRng::seed_from_u64(77);
     let users: Vec<Pid> = (0..4)
         .map(|i| cluster.login(SiteId(i), i).expect("login"))
         .collect();
     for step in 0..100 {
-        let roll: f64 = rng.gen();
+        let roll = rng.gen_f64();
         let site = rng.gen_range(0..4u32);
         if roll < 0.6 {
             let path = format!("/c{}", rng.gen_range(0..5));
