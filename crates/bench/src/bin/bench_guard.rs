@@ -1,0 +1,116 @@
+//! **bench_guard** — CI gate over the `BENCH_<name>.json` reports.
+//!
+//! Compares freshly-written reports against the checked-in baselines in
+//! `crates/bench/baselines/`. The simulator is deterministic, so message
+//! counts and virtual times are exactly reproducible; the guard still
+//! allows a small tolerance so a deliberate cost-model tweak upstream
+//! does not hard-fail every key at once:
+//!
+//! * keys ending in `_msgs` or `_us` may not grow more than 5%;
+//! * keys ending in `_ratio` may not shrink more than 5%;
+//! * every baseline key must be present in the measured report.
+//!
+//! Run with `cargo run -p locus-bench --bin bench_guard [-- names...]`
+//! (default: `e1 e3`). Reads measured reports from `$BENCH_OUT_DIR` or
+//! the current directory, baselines from `$BENCH_BASELINE_DIR` or
+//! `crates/bench/baselines`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Parses the flat JSON objects [`locus_bench::BenchReport`] writes:
+/// one `"key": value` pair per line. Non-numeric values are kept only
+/// for presence checks.
+fn parse_flat_json(text: &str) -> BTreeMap<String, Option<f64>> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(value) = rest.trim_start().strip_prefix(':') else {
+            continue;
+        };
+        out.insert(key.to_owned(), value.trim().parse::<f64>().ok());
+    }
+    out
+}
+
+fn load(path: &Path) -> Result<BTreeMap<String, Option<f64>>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let parsed = parse_flat_json(&text);
+    if parsed.is_empty() {
+        return Err(format!("{} holds no key/value pairs", path.display()));
+    }
+    Ok(parsed)
+}
+
+fn check(name: &str, measured_dir: &Path, baseline_dir: &Path) -> Vec<String> {
+    let file = format!("BENCH_{name}.json");
+    let baseline = match load(&baseline_dir.join(&file)) {
+        Ok(b) => b,
+        Err(e) => return vec![format!("{name}: baseline: {e}")],
+    };
+    let measured = match load(&measured_dir.join(&file)) {
+        Ok(m) => m,
+        Err(e) => return vec![format!("{name}: measured: {e}")],
+    };
+    let mut problems = Vec::new();
+    for (key, base) in &baseline {
+        let Some(got) = measured.get(key) else {
+            problems.push(format!("{name}: key {key} missing from measured report"));
+            continue;
+        };
+        let (Some(base), Some(got)) = (base, got) else {
+            continue; // non-numeric: presence was the whole check
+        };
+        if key.ends_with("_msgs") || key.ends_with("_us") {
+            if *got > base * 1.05 {
+                problems.push(format!(
+                    "{name}: {key} regressed: {got} > baseline {base} (+5% allowed)"
+                ));
+            }
+        } else if key.ends_with("_ratio") && *got < base * 0.95 {
+            problems.push(format!(
+                "{name}: {key} regressed: {got} < baseline {base} (-5% allowed)"
+            ));
+        }
+    }
+    problems
+}
+
+fn main() -> ExitCode {
+    let names: Vec<String> = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.is_empty() {
+            vec!["e1".into(), "e3".into()]
+        } else {
+            args
+        }
+    };
+    let measured_dir = std::env::var_os("BENCH_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let baseline_dir = std::env::var_os("BENCH_BASELINE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("crates/bench/baselines"));
+
+    let mut problems = Vec::new();
+    for name in &names {
+        problems.extend(check(name, &measured_dir, &baseline_dir));
+    }
+    if problems.is_empty() {
+        println!("bench_guard: {} report(s) within baseline", names.len());
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("bench_guard: {p}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -6,14 +6,17 @@
 //! modified pages.
 //!
 //! Run with `cargo run -p locus-bench --bin e10_propagation`.
+//! Writes `BENCH_e10.json` (honours `$BENCH_OUT_DIR`).
 
 use locus::{OpenMode, SiteId, VvOrder};
-use locus_bench::{standard_cluster, timed};
+use locus_bench::{standard_cluster, timed, BenchReport, RunTotals};
 use locus_fs::ops::namei;
 use locus_storage::PAGE_SIZE;
 use locus_types::MachineType;
 
 fn main() {
+    let mut report = BenchReport::new("e10");
+    let mut totals = RunTotals::new();
     println!("E10: commit-to-replica propagation (pull, §2.3.6)\n");
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>12}",
@@ -63,6 +66,11 @@ fn main() {
             pulls,
             if stale { "observed" } else { "none" },
         );
+        report
+            .int(&format!("pages{pages}.commit_us"), t_commit.as_micros())
+            .int(&format!("pages{pages}.propagate_us"), t_prop.as_micros())
+            .int(&format!("pages{pages}.pull_msgs"), pulls);
+        totals.absorb(&cluster);
     }
 
     // Incremental propagation: touch one page of a 64-page file; only
@@ -84,4 +92,8 @@ fn main() {
     let pulls = cluster.net().stats().sends("READ req");
     println!("\nincremental: 1 page changed of 64 -> {pulls} page pull(s) (\"just the changes\")");
     assert_eq!(pulls, 1);
+    totals.absorb(&cluster);
+    report.int("incremental_pull_msgs", pulls).totals(&totals);
+    let path = report.write();
+    println!("wrote {}", path.display());
 }

@@ -9,15 +9,18 @@
 //! replication), and per-class message costs.
 //!
 //! Run with `cargo run -p locus-bench --bin e11_beta_net`.
+//! Writes `BENCH_e11.json` (honours `$BENCH_OUT_DIR`).
 
 use locus_bench::workload::{generate, replay, setup_users};
-use locus_bench::{standard_cluster, timed};
+use locus_bench::{standard_cluster, timed, BenchReport, RunTotals};
 
 fn main() {
     const USERS: usize = 35;
     const FILES: usize = 60;
     const OPS: usize = 1500;
 
+    let mut report = BenchReport::new("e11");
+    let mut totals = RunTotals::new();
     for (label, containers) in [
         ("no replication (1 container)", vec![0u32]),
         ("paper-like (2 containers)", vec![0, 1]),
@@ -61,8 +64,23 @@ fn main() {
             net.total_bytes() / 1024
         );
         println!();
+        let prefix = format!("containers{}", containers.len());
+        report
+            .int(&format!("{prefix}.ops_completed"), stats.completed as u64)
+            .int(&format!("{prefix}.ops_failed"), stats.failed as u64)
+            .float(
+                &format!("{prefix}.local_serve_pct"),
+                100.0 * stats.local_serves as f64 / served.max(1) as f64,
+            )
+            .int(&format!("{prefix}.msgs_total"), net.total_sends())
+            .int(&format!("{prefix}.elapsed_us"), elapsed.as_micros())
+            .cache(&prefix, cluster.fs().cache_stats());
+        totals.absorb(&cluster);
     }
     println!("paper: \"no one typically thinks much about resource location");
     println!("because of performance reasons\" — replication converts remote");
     println!("page traffic into local hits at the cost of propagation writes.");
+    report.totals(&totals);
+    let path = report.write();
+    println!("wrote {}", path.display());
 }

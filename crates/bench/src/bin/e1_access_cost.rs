@@ -5,10 +5,11 @@
 //! significantly more than the case when the entire open can be done
 //! locally."
 //!
-//! Run with `cargo run -p locus-bench --bin e1_access_cost`.
+//! Run with `cargo run -p locus-bench --bin e1_access_cost`. Writes
+//! `BENCH_e1.json` (honours `$BENCH_OUT_DIR`).
 
 use locus::{OpenMode, SiteId, Ticks};
-use locus_bench::{ratio, standard_cluster, timed};
+use locus_bench::{ratio, standard_cluster, timed, BenchReport};
 use locus_fs::ops::{io, namei, open};
 use locus_types::MachineType;
 
@@ -92,6 +93,20 @@ fn main() {
         per(t_page_remote).to_string(),
         ratio(t_page_remote, t_page_local)
     );
+    let cache = cluster.fs().cache_stats();
+    println!("cache hit ratio (all sites): {:.2}", cache.hit_ratio());
     println!();
     println!("paper: remote page ≈ 2x local; remote open \"significantly more\".");
+
+    let mut report = BenchReport::new("e1");
+    report
+        .elapsed("open_local_us", per(t_open_local))
+        .elapsed("open_remote_us", per(t_open_remote))
+        .float("open_ratio", ratio(t_open_remote, t_open_local))
+        .elapsed("page_local_us", per(t_page_local))
+        .elapsed("page_remote_us", per(t_page_remote))
+        .float("page_ratio", ratio(t_page_remote, t_page_local))
+        .cache("e1", cache);
+    let path = report.write();
+    println!("wrote {}", path.display());
 }

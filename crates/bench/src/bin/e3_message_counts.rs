@@ -3,14 +3,53 @@
 //! ack only), general open = 4, general close = 4, commit notification
 //! fan-out = containers − 1.
 //!
-//! Run with `cargo run -p locus-bench --bin e3_message_counts`.
+//! A second section compares a 64-page sequential remote read under the
+//! paper-faithful per-page protocol against the batched `READV` protocol
+//! with adaptive readahead (the paper's counts are unchanged by default;
+//! batching is opt-in).
+//!
+//! Run with `cargo run -p locus-bench --bin e3_message_counts`. Writes
+//! `BENCH_e3.json` (honours `$BENCH_OUT_DIR`).
 
-use locus::{OpenMode, SiteId};
-use locus_bench::standard_cluster;
+use locus::{Cluster, OpenMode, SiteId, Ticks};
+use locus_bench::{standard_cluster, BenchReport};
 use locus_fs::ops::{commit, io, namei, open};
+use locus_fs::IoPolicy;
 use locus_types::MachineType;
 
+/// A diskless site reads a freshly-seeded 64-page file sequentially from
+/// the one container; returns (messages, virtual elapsed, hit ratio) for
+/// the read itself — the open/close protocol costs the same either way
+/// and is measured separately above.
+fn seq_read_64(policy: IoPolicy) -> (u64, Ticks, f64) {
+    const NPAGES: usize = 64;
+    let cluster = Cluster::builder()
+        .vax_sites(2)
+        .filegroup("root", &[0])
+        .io_policy(policy)
+        .build();
+    let data: Vec<u8> = (0..NPAGES * 1024).map(|i| (i % 251) as u8).collect();
+    let writer = cluster.login(SiteId(0), 1).expect("login");
+    cluster.write_file(writer, "/big", &data).expect("seed");
+    cluster.settle();
+    let us = SiteId(1);
+    let ctx = locus_fs::ProcFsCtx::new(
+        cluster.fs().kernel(us).mount.root().unwrap(),
+        MachineType::Vax,
+    );
+    let f = locus_fs::ops::fd::open(cluster.fs(), us, &ctx, "/big", OpenMode::Read).expect("open");
+    cluster.net().reset_stats();
+    let t0 = cluster.net().now();
+    let got = locus_fs::ops::fd::read(cluster.fs(), us, f, data.len()).expect("sequential read");
+    let elapsed = cluster.net().now() - t0;
+    let msgs = cluster.net().stats().total_sends();
+    assert_eq!(got, data, "batched and unbatched reads must agree");
+    locus_fs::ops::fd::close(cluster.fs(), us, f).expect("close");
+    (msgs, elapsed, cluster.fs().cache_stats().hit_ratio())
+}
+
 fn main() {
+    let mut report = BenchReport::new("e3");
     // Three containers so the commit fan-out is visible; diskless site 3.
     let cluster = standard_cluster(4, &[0, 1, 2]);
     let us = SiteId(3);
@@ -29,38 +68,33 @@ fn main() {
     // Open from the diskless site (CSS stores latest: optimized open).
     cluster.net().reset_stats();
     let t = open::open_gfid(cluster.fs(), us, gfid, OpenMode::Read).expect("open");
+    let open_msgs = cluster.net().stats().total_sends();
+    report.int("open_msgs", open_msgs);
     println!(
         "{:<34} {:>9} {:>9}",
-        "open (CSS-is-SS optimization)",
-        cluster.net().stats().total_sends(),
-        2
+        "open (CSS-is-SS optimization)", open_msgs, 2
     );
 
     // One remote page read.
     cluster.net().reset_stats();
     io::get_page(cluster.fs(), us, gfid, t.ss, 0, 1).expect("read");
-    println!(
-        "{:<34} {:>9} {:>9}",
-        "read one page",
-        cluster.net().stats().total_sends(),
-        2
-    );
+    let read_msgs = cluster.net().stats().total_sends();
+    report.int("read_page_msgs", read_msgs);
+    println!("{:<34} {:>9} {:>9}", "read one page", read_msgs, 2);
 
     // Close (read-only, CSS == SS here: two-message close).
     cluster.net().reset_stats();
     open::close_ticket(cluster.fs(), us, &t).expect("close");
-    println!(
-        "{:<34} {:>9} {:>9}",
-        "close (CSS == SS)",
-        cluster.net().stats().total_sends(),
-        2
-    );
+    let close_msgs = cluster.net().stats().total_sends();
+    report.int("close_msgs", close_msgs);
+    println!("{:<34} {:>9} {:>9}", "close (CSS == SS)", close_msgs, 2);
 
     // Write path: open for modification, write one whole page remotely.
     let t = open::open_gfid(cluster.fs(), us, gfid, OpenMode::Write).expect("open write");
     cluster.net().reset_stats();
     io::put_page_range(cluster.fs(), us, gfid, t.ss, 0, &vec![9u8; 1024], 1024).expect("write");
     let st = cluster.net().stats();
+    report.int("write_page_msgs", st.sends("WRITE page"));
     println!(
         "{:<34} {:>9} {:>9}",
         "write one whole page",
@@ -73,6 +107,7 @@ fn main() {
     cluster.net().reset_stats();
     commit::commit_at(cluster.fs(), us, gfid, t.ss, None).expect("commit");
     let st = cluster.net().stats();
+    report.int("commit_notify_msgs", st.sends("COMMIT notify"));
     println!(
         "{:<34} {:>9} {:>9}",
         "commit notify fan-out",
@@ -98,10 +133,55 @@ fn main() {
         + st.sends("CLOSE resp")
         + st.sends("SSCLOSE req")
         + st.sends("SSCLOSE resp");
+    report.int("general_close_msgs", close_msgs);
     println!(
         "{:<34} {:>9} {:>9}",
         "close (US, SS, CSS distinct)", close_msgs, 4
     );
+    report.cache("e3", cluster.fs().cache_stats());
+    println!(
+        "\ncache hit ratio (all sites): {:.2}",
+        cluster.fs().cache_stats().hit_ratio()
+    );
+
+    // Batched transfer: the same 64-page sequential remote read costs 2
+    // messages per page under §2.3.3, but one round trip per adaptive
+    // readahead window under READV (1, 2, 4, 8, 8, ... pages).
+    let (un_msgs, un_elapsed, un_hits) = seq_read_64(IoPolicy::paper_faithful());
+    let (b_msgs, b_elapsed, b_hits) = seq_read_64(IoPolicy::batched());
+    let msg_ratio = un_msgs as f64 / b_msgs as f64;
+    println!("\n64-page sequential remote read (read only; open/close measured above):");
+    println!(
+        "{:<34} {:>9} {:>12} {:>6}",
+        "mode", "messages", "virtual µs", "hit%"
+    );
+    println!(
+        "{:<34} {:>9} {:>12} {:>6.1}",
+        "per-page (paper §2.3.3)",
+        un_msgs,
+        un_elapsed.as_micros(),
+        100.0 * un_hits
+    );
+    println!(
+        "{:<34} {:>9} {:>12} {:>6.1}",
+        "batched READV (adaptive window)",
+        b_msgs,
+        b_elapsed.as_micros(),
+        100.0 * b_hits
+    );
+    println!("message reduction: {msg_ratio:.1}x (claim: >= 4x)");
+    assert!(
+        msg_ratio >= 4.0,
+        "batched read must cut messages at least 4x (got {msg_ratio:.2})"
+    );
+    report
+        .int("seq64_unbatched_msgs", un_msgs)
+        .elapsed("seq64_unbatched_us", un_elapsed)
+        .int("seq64_batched_msgs", b_msgs)
+        .elapsed("seq64_batched_us", b_elapsed)
+        .float("seq64_msg_ratio", msg_ratio);
 
     println!("\npaper: §2.3.3 read/close protocols, §2.3.5 write, §2.3.6 commit.");
+    let path = report.write();
+    println!("wrote {}", path.display());
 }

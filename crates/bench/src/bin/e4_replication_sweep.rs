@@ -11,14 +11,18 @@
 //! single-primary update availability (the rejected design).
 //!
 //! Run with `cargo run -p locus-bench --bin e4_replication_sweep`.
+//! Writes `BENCH_e4.json` (honours `$BENCH_OUT_DIR`).
 
 use locus::{Cluster, OpenMode, SiteId};
+use locus_bench::{BenchReport, RunTotals};
 use locus_net::SimRng;
 
 const SITES: u32 = 6;
 const TRIALS: u32 = 200;
 
 fn main() {
+    let mut report = BenchReport::new("e4");
+    let mut totals = RunTotals::new();
     println!(
         "E4: availability vs replication factor ({SITES} sites, {TRIALS} random partitions)\n"
     );
@@ -101,9 +105,23 @@ fn main() {
             pct(primary_update_ok),
             read_msgs as f64 / read_ok.max(1) as f64,
         );
+        report
+            .float(&format!("copies{copies}.read_avail_pct"), pct(read_ok))
+            .float(
+                &format!("copies{copies}.locus_update_pct"),
+                pct(locus_update_ok),
+            )
+            .float(
+                &format!("copies{copies}.primary_update_pct"),
+                pct(primary_update_ok),
+            );
+        totals.absorb(&cluster);
     }
+    report.totals(&totals);
+    let path = report.write();
     println!();
     println!("paper: read availability rises with copies; a single-primary");
     println!("update policy *loses* availability as copies grow, which is why");
     println!("LOCUS permits update in every partition and reconciles at merge.");
+    println!("wrote {}", path.display());
 }

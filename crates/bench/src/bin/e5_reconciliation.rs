@@ -3,8 +3,10 @@
 //! recovery outcome observed.
 //!
 //! Run with `cargo run -p locus-bench --bin e5_reconciliation`.
+//! Writes `BENCH_e5.json` (honours `$BENCH_OUT_DIR`).
 
 use locus::{Cluster, FileOutcome, SiteId};
+use locus_bench::{BenchReport, RunTotals};
 
 fn s(i: u32) -> SiteId {
     SiteId(i)
@@ -39,6 +41,8 @@ fn count(outcomes: &[(locus::Gfid, FileOutcome)], o: FileOutcome) -> usize {
 }
 
 fn main() {
+    let mut report = BenchReport::new("e5");
+    let mut totals = RunTotals::new();
     println!("E5: partitioned-update reconciliation matrix\n");
     println!("{:<52} {:<20}", "scenario", "observed outcome");
 
@@ -60,6 +64,8 @@ fn main() {
                 count(&out, FileOutcome::ConflictMarked)
             )
         );
+        report.int("one_side_propagated", count(&out, FileOutcome::Propagated) as u64);
+        totals.absorb(&c);
     }
     // 2. Update in both partitions (untyped file).
     {
@@ -79,6 +85,11 @@ fn main() {
                 count(&out, FileOutcome::ConflictMarked)
             )
         );
+        report.int(
+            "both_sides_conflicts",
+            count(&out, FileOutcome::ConflictMarked) as u64,
+        );
+        totals.absorb(&c);
     }
     // 3. Independent creates: directory union.
     {
@@ -97,6 +108,11 @@ fn main() {
                 count(&out, FileOutcome::ConflictMarked) == 0
             )
         );
+        report.int(
+            "dirs_merged",
+            count(&out, FileOutcome::DirectoryMerged) as u64,
+        );
+        totals.absorb(&c);
     }
     // 4. Same name created in both partitions.
     {
@@ -117,6 +133,8 @@ fn main() {
             "same new name in A and B",
             format!("{renames} name conflict(s) renamed + mailed")
         );
+        report.int("name_conflicts_renamed", renames as u64);
+        totals.absorb(&c);
     }
     // 5. Delete in one partition.
     {
@@ -135,6 +153,11 @@ fn main() {
                 count(&out, FileOutcome::DeletePropagated).min(1)
             )
         );
+        report.int(
+            "deletes_propagated",
+            count(&out, FileOutcome::DeletePropagated).min(1) as u64,
+        );
+        totals.absorb(&c);
     }
     // 6. Delete in A, modify in B: the file wants to be saved.
     {
@@ -151,6 +174,8 @@ fn main() {
             "delete in A, modify in B",
             format!("{} resurrected", count(&out, FileOutcome::Resurrected))
         );
+        report.int("resurrected", count(&out, FileOutcome::Resurrected) as u64);
+        totals.absorb(&c);
     }
     // 7. Mail in both partitions.
     {
@@ -174,6 +199,13 @@ fn main() {
                 msgs.len()
             )
         );
+        report
+            .int("mailboxes_merged", count(&out, FileOutcome::MailboxMerged) as u64)
+            .int("mail_messages", msgs.len() as u64);
+        totals.absorb(&c);
     }
+    report.totals(&totals);
+    let path = report.write();
     println!("\npaper: §4.2 (detection), §4.4 (directories), §4.5 (mailboxes), §4.6 (conflicts).");
+    println!("wrote {}", path.display());
 }

@@ -3,8 +3,11 @@
 //! failure, and message/round costs as the network grows.
 //!
 //! Run with `cargo run -p locus-bench --bin e6_partition_protocol`.
+//! Writes `BENCH_e6.json` (honours `$BENCH_OUT_DIR`).
 
 use std::collections::{BTreeMap, BTreeSet};
+
+use locus_bench::BenchReport;
 
 use locus_net::{FaultPlan, FaultSpec, Net};
 use locus_topology::partition::{partition_all, partition_protocol};
@@ -16,6 +19,9 @@ fn full_beliefs(n: u32) -> BTreeMap<SiteId, BTreeSet<SiteId>> {
 }
 
 fn main() {
+    let mut report = BenchReport::new("e6");
+    let mut virtual_us = 0u64;
+    let mut msgs = 0u64;
     println!("E6: partition protocol — iterative intersection (§5.4)\n");
     println!(
         "{:<8} {:<22} {:>8} {:>8} {:>10} {:>10}",
@@ -41,6 +47,11 @@ fn main() {
             consensus,
             (net.now() - t0).to_string()
         );
+        report
+            .int(&format!("n{n}.crash_polls"), out.polls as u64)
+            .int(&format!("n{n}.crash_rounds"), out.rounds as u64);
+        virtual_us += (net.now() - t0).as_micros();
+        msgs += net.stats().total_sends();
 
         // Case B: half the network splits away.
         let net = Net::new(n as usize);
@@ -101,6 +112,11 @@ fn main() {
             .members
             .iter()
             .all(|m| beliefs.get(m) == Some(&out.members));
+        report
+            .int(&format!("n{n}.lossy_drops"), st.total_drops())
+            .int(&format!("n{n}.lossy_retries"), st.total_retries());
+        virtual_us += net.now().as_micros();
+        msgs += st.total_sends();
         println!(
             "{:<8} {:>10} {:>9} {:>9} {:>9} {:>10}",
             n,
@@ -121,4 +137,7 @@ fn main() {
     println!("a single communications failure should not result in the network");
     println!("breaking into three or more parts\" — one partition in every");
     println!("single-link-cut row above; polls grow linearly with N.");
+    report.int("msgs_total", msgs).int("virtual_elapsed_us", virtual_us);
+    let path = report.write();
+    println!("wrote {}", path.display());
 }

@@ -4,8 +4,11 @@
 //! a small partition of a large network."
 //!
 //! Run with `cargo run -p locus-bench --bin e7_merge_timeout`.
+//! Writes `BENCH_e7.json` (honours `$BENCH_OUT_DIR`).
 
 use std::collections::{BTreeMap, BTreeSet};
+
+use locus_bench::BenchReport;
 
 use locus_net::{FaultPlan, FaultSpec, Net};
 use locus_topology::merge::{merge_protocol, MergeTimeouts};
@@ -57,6 +60,8 @@ fn main() {
         "{:<8} {:<26} {:>12} {:>12} {:>9}",
         "sites", "scenario", "adaptive", "fixed", "members"
     );
+    let mut report = BenchReport::new("e7");
+    let mut virtual_us = 0u64;
     for n in [4u32, 8, 16, 32] {
         // All expected sites answer: the adaptive strategy pays only the
         // short tail.
@@ -70,6 +75,10 @@ fn main() {
             t_f.to_string(),
             m
         );
+        report
+            .int(&format!("n{n}.all_answer_adaptive_us"), t_a.as_micros())
+            .int(&format!("n{n}.all_answer_fixed_us"), t_f.as_micros());
+        virtual_us += t_a.as_micros() + t_f.as_micros();
         // One believed-up site stays silent: both strategies wait long.
         let (t_a, m) = run(n, 1, adaptive);
         let (t_f, _) = run(n, 1, fixed);
@@ -81,6 +90,8 @@ fn main() {
             t_f.to_string(),
             m
         );
+        report.int(&format!("n{n}.one_silent_adaptive_us"), t_a.as_micros());
+        virtual_us += t_a.as_micros() + t_f.as_micros();
     }
     // Lossy merge: injected drops force retransmissions but must not
     // shrink the merged partition. Protocol messages (§5.5 poll/info/
@@ -111,10 +122,17 @@ fn main() {
             n as usize,
             "a lossy link must not shrink the merge"
         );
+        report
+            .int(&format!("n{n}.lossy_retries"), st.total_retries())
+            .int(&format!("n{n}.lossy_msgs"), st.total_sends());
+        virtual_us += net.now().as_micros();
     }
     println!();
     println!("paper: \"The merge protocol waits longer when there is a reasonable");
     println!("expectation that further replies will arrive … Once all such sites");
     println!("have replied, the timeout is short.\" The adaptive column matches");
     println!("the fixed column only when a believed-up site is genuinely silent.");
+    report.int("virtual_elapsed_us", virtual_us);
+    let path = report.write();
+    println!("wrote {}", path.display());
 }

@@ -10,7 +10,9 @@
 //! and `fsck` must find no corruption.
 //!
 //! Run with `cargo run -p locus-bench --bin e8_commit_atomicity`.
+//! Writes `BENCH_e8.json` (honours `$BENCH_OUT_DIR`).
 
+use locus_bench::BenchReport;
 use locus_storage::{DiskInode, Pack, ShadowSession, PAGE_SIZE};
 use locus_types::{FileType, FilegroupId, Ino, PackId, Perms};
 
@@ -98,4 +100,11 @@ fn main() {
     assert_eq!(corruptions, 0, "atomicity violated");
     println!("paper: \"either the original file or a completely changed file,");
     println!("but never a partially made change\" — zero corruptions above.");
+    let mut report = BenchReport::new("e8");
+    report
+        .int("old_survivals", old_survivals as u64)
+        .int("new_survivals", new_survivals as u64)
+        .int("corruptions", corruptions as u64);
+    let path = report.write();
+    println!("wrote {}", path.display());
 }

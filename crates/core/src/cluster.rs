@@ -61,6 +61,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Overrides the page-transfer policy (paper-faithful per-page
+    /// protocols by default).
+    pub fn io_policy(mut self, policy: locus_fs::IoPolicy) -> Self {
+        self.inner = self.inner.io_policy(policy);
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
         let fsc = self.inner.build();

@@ -4,7 +4,7 @@ use locus_net::{LatencyModel, Net, RetryPolicy};
 use locus_storage::{DiskInode, Pack, Superblock};
 use locus_types::{FileType, FilegroupId, Gfid, Ino, MachineType, PackId, Perms, SiteId};
 
-use crate::cluster::FsCluster;
+use crate::cluster::{FsCluster, IoPolicy};
 use crate::directory::Directory;
 use crate::kernel::FsKernel;
 use crate::mount::{MountInfo, MountTable};
@@ -39,6 +39,7 @@ pub struct FsClusterBuilder {
     inos_per_fg: u32,
     latency: LatencyModel,
     retry: RetryPolicy,
+    io_policy: IoPolicy,
 }
 
 impl Default for FsClusterBuilder {
@@ -57,6 +58,7 @@ impl FsClusterBuilder {
             inos_per_fg: 4096,
             latency: LatencyModel::ethernet_1983(),
             retry: RetryPolicy::default(),
+            io_policy: IoPolicy::paper_faithful(),
         }
     }
 
@@ -111,6 +113,14 @@ impl FsClusterBuilder {
     /// up when running under heavy injected loss).
     pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Overrides the page-transfer policy (paper-faithful per-page
+    /// protocols by default; [`IoPolicy::batched`] enables batched
+    /// transfers, adaptive readahead and write-behind).
+    pub fn io_policy(mut self, policy: IoPolicy) -> Self {
+        self.io_policy = policy;
         self
     }
 
@@ -246,6 +256,7 @@ impl FsClusterBuilder {
         }
         let fsc = FsCluster::from_parts(net, kernels);
         fsc.set_retry_policy(self.retry);
+        fsc.set_io_policy(self.io_policy);
         fsc
     }
 }

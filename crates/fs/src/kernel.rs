@@ -26,6 +26,46 @@ pub enum FdKind {
     Device,
 }
 
+/// Adaptive readahead state of one descriptor (used in batched I/O mode,
+/// [`crate::cluster::IoPolicy::batched`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadAhead {
+    /// Byte offset the next read would start at if access is sequential.
+    /// `u64::MAX` means no read has completed yet.
+    pub next: u64,
+    /// Current readahead window in pages: doubles on each remote fetch
+    /// during sequential access (up to the policy cap) and resets to one
+    /// page on a seek.
+    pub window: usize,
+}
+
+impl Default for ReadAhead {
+    fn default() -> Self {
+        ReadAhead {
+            next: u64::MAX,
+            window: 1,
+        }
+    }
+}
+
+/// US-side write-behind buffer of one file: consecutive whole dirty pages
+/// awaiting a batched `WritePages` flush to the SS. Nothing here is
+/// visible to any other site until the flush lands in the SS's shadow
+/// session, and nothing in the session is visible until commit (§2.3.4) —
+/// buffering therefore never weakens commit atomicity, it only defers the
+/// wire transfer.
+#[derive(Clone, Debug)]
+pub struct WriteBehind {
+    /// Destination storage site.
+    pub ss: SiteId,
+    /// Logical page number of `pages[0]`.
+    pub first: usize,
+    /// Buffered pages, consecutive from `first`.
+    pub pages: Vec<Vec<u8>>,
+    /// File size after applying the buffered pages.
+    pub new_size: u64,
+}
+
 /// One open-file table entry.
 #[derive(Clone, Debug)]
 pub struct OpenFile {
@@ -52,6 +92,8 @@ pub struct OpenFile {
     /// Error latched by the cleanup procedure ("set error in local file
     /// descriptor", §5.6); subsequent operations return it.
     pub error: Option<locus_types::Errno>,
+    /// Adaptive readahead state (batched I/O mode only).
+    pub ra: ReadAhead,
 }
 
 /// Home-site record of a shared descriptor group: who currently holds the
@@ -107,6 +149,8 @@ pub struct FsKernel {
     /// page-valid check (§3.2 fn 1): an open under a newer version drops
     /// the stale buffers.
     pub(crate) cache_vv: HashMap<Gfid, locus_types::VersionVector>,
+    /// Per-file write-behind buffers (batched I/O mode only).
+    pub(crate) write_behind: HashMap<Gfid, WriteBehind>,
 }
 
 impl FsKernel {
@@ -129,6 +173,7 @@ impl FsKernel {
             prop_queue: VecDeque::new(),
             latest: HashMap::new(),
             cache_vv: HashMap::new(),
+            write_behind: HashMap::new(),
         }
     }
 
@@ -292,6 +337,11 @@ impl FsKernel {
         self.cache.stats()
     }
 
+    /// Full buffer-cache counters, including invalidations.
+    pub fn cache_full_stats(&self) -> locus_storage::CacheStats {
+        self.cache.full_stats()
+    }
+
     /// Drops every cached page of `gfid`, local and network-fetched.
     /// Recovery calls this after rewriting copies behind the cache's back.
     pub fn invalidate_caches_for(&mut self, gfid: Gfid) {
@@ -349,6 +399,7 @@ mod tests {
             shared_home: SiteId(0),
             wrote: false,
             error: None,
+            ra: ReadAhead::default(),
         });
         assert!(fd >= 3);
         assert_eq!(k.fd(fd).unwrap().gfid, gfid);

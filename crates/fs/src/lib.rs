@@ -41,7 +41,7 @@ pub mod pipe;
 pub mod proto;
 
 pub use build::FsClusterBuilder;
-pub use cluster::FsCluster;
+pub use cluster::{FsCluster, IoPolicy};
 pub use directory::{DirEntry, Directory};
 pub use kernel::FsKernel;
 pub use mount::{MountInfo, MountTable};

@@ -20,6 +20,9 @@ pub fn commit_at(
     meta: Option<MetaUpdate>,
 ) -> SysResult<InodeInfo> {
     fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    // Commit is a write-behind flush point: every buffered page must be in
+    // the SS's shadow session before the session is committed.
+    io::flush_write_behind(fsc, us, gfid)?;
     let reply = if ss == us {
         handle_commit(fsc, ss, gfid, meta)?
     } else {
@@ -41,6 +44,7 @@ pub fn commit_at(
 /// to the previous commit point").
 pub fn abort_at(fsc: &FsCluster, us: SiteId, gfid: Gfid, ss: SiteId) -> SysResult<()> {
     fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    io::discard_write_behind(fsc, us, gfid);
     if ss == us {
         handle_abort(fsc, ss, gfid)?;
     } else {
@@ -328,33 +332,68 @@ pub(crate) fn propagate_pull(fsc: &FsCluster, site: SiteId, req: &PropReq) -> Sy
         _ => (0..npages).collect(),
     };
 
+    // Under the batched I/O policy, consecutive runs of the page list are
+    // pulled with multi-page `ReadPages` exchanges; the paper-faithful
+    // default keeps the per-page protocol.
+    let policy = fsc.io_policy();
     let mut failed = false;
-    for lpn in page_list {
-        match fsc.rpc(
-            site,
-            req.source,
-            FsMsg::ReadPage {
-                gfid,
-                lpn,
-                guess: 0,
-            },
-        ) {
-            Ok(FsReply::Page { data }) => {
-                let mut k = fsc.kernel(site);
-                let pack = k.pack_of(gfid.fg).expect("checked above");
-                // "When each page arrives, the buffer that contains it is
-                // renamed and sent out to secondary storage" — straight
-                // into the shadow session, no user-space copy.
-                if sess.write_page(pack, lpn, &data).is_err() {
-                    failed = true;
-                    break;
-                }
-            }
-            _ => {
-                failed = true;
-                break;
-            }
+    let mut i = 0usize;
+    while i < page_list.len() {
+        let start = page_list[i];
+        let mut run = 1usize;
+        while policy.batched_reads
+            && run < policy.max_read_window
+            && i + run < page_list.len()
+            && page_list[i + run] == start + run
+        {
+            run += 1;
         }
+        let pulled: Option<Vec<Vec<u8>>> = if run == 1 {
+            match fsc.rpc(
+                site,
+                req.source,
+                FsMsg::ReadPage {
+                    gfid,
+                    lpn: start,
+                    guess: 0,
+                },
+            ) {
+                Ok(FsReply::Page { data }) => Some(vec![data]),
+                _ => None,
+            }
+        } else {
+            match fsc.rpc(
+                site,
+                req.source,
+                FsMsg::ReadPages {
+                    gfid,
+                    first: start,
+                    count: run,
+                    guess: 0,
+                },
+            ) {
+                Ok(FsReply::Pages { pages }) if pages.len() == run => Some(pages),
+                _ => None,
+            }
+        };
+        let Some(pages) = pulled else {
+            failed = true;
+            break;
+        };
+        let mut k = fsc.kernel(site);
+        let pack = k.pack_of(gfid.fg).expect("checked above");
+        // "When each page arrives, the buffer that contains it is
+        // renamed and sent out to secondary storage" — straight
+        // into the shadow session, no user-space copy.
+        if pages
+            .iter()
+            .enumerate()
+            .any(|(j, data)| sess.write_page(pack, start + j, data).is_err())
+        {
+            failed = true;
+            break;
+        }
+        i += run;
     }
 
     let mut k = fsc.kernel(site);

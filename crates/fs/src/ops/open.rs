@@ -366,3 +366,89 @@ pub(crate) fn handle_ss_close(
     k.maybe_release_incore(gfid);
     Ok(FsReply::Ok)
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FsClusterBuilder;
+    use crate::cluster::IoPolicy;
+    use crate::ops::fd;
+    use crate::ops::io::net_cache_pack;
+    use crate::proto::ProcFsCtx;
+    use locus_storage::PAGE_SIZE;
+    use locus_types::{FileType, MachineType, Perms};
+
+    /// Page `p` of version `v`: every byte is `v + p`, so any single
+    /// stale page surviving an invalidation shows up in a content check.
+    fn content(version: u8, pages: usize) -> Vec<u8> {
+        (0..pages * PAGE_SIZE)
+            .map(|i| version.wrapping_add((i / PAGE_SIZE) as u8))
+            .collect()
+    }
+
+    fn cached_pages(fsc: &FsCluster, us: SiteId, gfid: Gfid, npages: usize) -> usize {
+        let k = fsc.kernel(us);
+        (0..npages)
+            .filter(|&lpn| k.cache.contains(&(net_cache_pack(gfid.fg), gfid.ino, lpn)))
+            .count()
+    }
+
+    /// A batch of pages fetched under one version must be dropped *in
+    /// full* when a later open observes a newer version vector — the
+    /// page-valid check (§3.2 fn 1) applies to every page of the batch,
+    /// not just the pages the new commit touched.
+    #[test]
+    fn batched_pages_fully_invalidated_by_newer_open() {
+        let fsc = FsClusterBuilder::new()
+            .vax_sites(2)
+            .filegroup("root", &[0])
+            .io_policy(IoPolicy::batched())
+            .build();
+        let w = SiteId(0);
+        let us = SiteId(1);
+        const NPAGES: usize = 5;
+
+        let wctx = ProcFsCtx::new(fsc.kernel(w).mount.root().unwrap(), MachineType::Vax);
+        let v1 = content(1, NPAGES);
+        let f = fd::creat(&fsc, w, &wctx, "/data", FileType::Untyped, Perms::FILE_DEFAULT)
+            .expect("creat");
+        fd::write(&fsc, w, f, &v1).expect("write v1");
+        fd::close(&fsc, w, f).expect("close v1");
+
+        // The diskless US reads the whole file through batched fetches,
+        // leaving the batch in its network page cache.
+        let uctx = ProcFsCtx::new(fsc.kernel(us).mount.root().unwrap(), MachineType::Vax);
+        let gfid = crate::ops::namei::resolve(&fsc, us, &uctx, "/data").expect("resolve");
+        let f = fd::open(&fsc, us, &uctx, "/data", OpenMode::Read).expect("open for batch read");
+        assert_eq!(fd::read(&fsc, us, f, NPAGES * PAGE_SIZE).expect("read v1"), v1);
+        fd::close(&fsc, us, f).expect("close read");
+        assert_eq!(
+            cached_pages(&fsc, us, gfid, NPAGES),
+            NPAGES,
+            "the batched read should have cached the whole file"
+        );
+
+        // A concurrent commit rewrites only page 0: pages 1..4 of the
+        // cached batch are now stale even though their bytes never moved.
+        let f = fd::open(&fsc, w, &wctx, "/data", OpenMode::Write).expect("reopen for write");
+        fd::write(&fsc, w, f, &content(2, 1)).expect("write v2 page 0");
+        fd::close(&fsc, w, f).expect("commit v2");
+
+        // The next open at the US sees the newer version vector and must
+        // drop the entire batch before serving anything.
+        let f = fd::open(&fsc, us, &uctx, "/data", OpenMode::Read).expect("reopen for read");
+        assert_eq!(
+            cached_pages(&fsc, us, gfid, NPAGES),
+            0,
+            "stale pages of the old batch survived the page-valid check"
+        );
+        let mut expect = v1.clone();
+        expect[..PAGE_SIZE].copy_from_slice(&content(2, 1));
+        assert_eq!(
+            fd::read(&fsc, us, f, NPAGES * PAGE_SIZE).expect("read v2"),
+            expect,
+            "read served stale batched pages"
+        );
+        fd::close(&fsc, us, f).expect("close");
+    }
+}

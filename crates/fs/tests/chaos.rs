@@ -21,11 +21,15 @@
 //! traces are identical: the whole fault pipeline is deterministic in the
 //! seed.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use locus_fs::ops::fd;
-use locus_fs::{FsCluster, FsClusterBuilder, ProcFsCtx};
+use locus_fs::{FsCluster, FsClusterBuilder, IoPolicy, ProcFsCtx};
 use locus_net::{FaultPlan, FaultSpec, RetryPolicy, SimRng, TraceEvent};
 use locus_types::{FileType, MachineType, OpenMode, Perms, SiteId, SysResult, Ticks};
 use proptest::prelude::*;
+use proptest::{runtime, TestRng};
 
 /// Sites holding a container of the root filegroup; site 0 is the CSS.
 const CONTAINERS: [u32; 3] = [0, 1, 2];
@@ -40,21 +44,27 @@ fn ctx(fsc: &FsCluster, site: SiteId) -> ProcFsCtx {
     ProcFsCtx::new(fsc.kernel(site).mount.root().unwrap(), MachineType::Vax)
 }
 
-/// Version `v`'s file content. Strictly growing length, so overwriting
-/// from offset 0 never leaves a stale tail.
-fn payload(v: u32) -> Vec<u8> {
+/// Version `v`'s file content, padded with `pad` extra bytes (multi-page
+/// payloads exercise the batched protocols). Strictly growing length, so
+/// overwriting from offset 0 never leaves a stale tail.
+fn payload_padded(v: u32, pad: usize) -> Vec<u8> {
     let mut p = format!("v{v:04}:").into_bytes();
-    p.extend(std::iter::repeat_n(b'x', 16 + v as usize));
+    p.extend(std::iter::repeat_n(b'x', 16 + pad + v as usize));
     p
 }
 
+/// Version `v`'s file content at the default (single-page) padding.
+fn payload(v: u32) -> Vec<u8> {
+    payload_padded(v, 0)
+}
+
 /// Parses a version back out, checking byte-exactness against
-/// [`payload`] — any corruption or tearing fails the parse.
-fn version_of(data: &[u8]) -> Option<u32> {
+/// [`payload_padded`] — any corruption or tearing fails the parse.
+fn version_of(data: &[u8], pad: usize) -> Option<u32> {
     let s = std::str::from_utf8(data).ok()?;
     let (num, _) = s.strip_prefix('v')?.split_once(':')?;
     let v: u32 = num.parse().ok()?;
-    (data == payload(v).as_slice()).then_some(v)
+    (data == payload_padded(v, pad).as_slice()).then_some(v)
 }
 
 /// A seed-derived fault plan plus the times its scheduled topology
@@ -100,10 +110,10 @@ fn open_guard(fsc: &FsCluster, us: SiteId) -> bool {
 }
 
 /// One full write session for version `v` at the writer site.
-fn write_version(fsc: &FsCluster, v: u32) -> SysResult<()> {
+fn write_version(fsc: &FsCluster, v: u32, pad: usize) -> SysResult<()> {
     let c = ctx(fsc, WRITER);
     let fdn = fd::open(fsc, WRITER, &c, "/chaos", OpenMode::Write)?;
-    let wrote = fd::write(fsc, WRITER, fdn, &payload(v)).map(|_| ());
+    let wrote = fd::write(fsc, WRITER, fdn, &payload_padded(v, pad)).map(|_| ());
     let closed = fd::close(fsc, WRITER, fdn);
     wrote.and(closed)
 }
@@ -114,19 +124,28 @@ fn write_version(fsc: &FsCluster, v: u32) -> SysResult<()> {
 ///
 /// Panics on corrupt content — torn pages are a durability violation no
 /// fault schedule may excuse.
-fn read_version(fsc: &FsCluster, us: SiteId) -> SysResult<u32> {
+fn read_version(fsc: &FsCluster, us: SiteId, pad: usize) -> SysResult<u32> {
     let c = ctx(fsc, us);
     let fdn = fd::open(fsc, us, &c, "/chaos", OpenMode::Read)?;
     let data = fd::read(fsc, us, fdn, 1 << 20);
     let _ = fd::close(fsc, us, fdn);
     let data = data?;
-    Some(version_of(&data).unwrap_or_else(|| panic!("corrupt content read: {data:?}")))
+    Some(version_of(&data, pad).unwrap_or_else(|| panic!("corrupt content read: {data:?}")))
         .ok_or(locus_types::Errno::Eio)
 }
 
-/// Runs one complete seeded schedule; returns the network trace on
-/// success or a description of the violated invariant.
+/// Runs one complete seeded schedule under the paper-faithful per-page
+/// protocols; returns the network trace on success or a description of
+/// the violated invariant.
 fn run_schedule(seed: u64) -> Result<Vec<TraceEvent>, String> {
+    run_schedule_with(seed, IoPolicy::paper_faithful(), 0)
+}
+
+/// Runs one complete seeded schedule under the given page-transfer
+/// policy, with `pad` extra payload bytes (multi-page versions stress
+/// batched reads, readahead windows and write-behind flushes under the
+/// same fault plans).
+fn run_schedule_with(seed: u64, policy: IoPolicy, pad: usize) -> Result<Vec<TraceEvent>, String> {
     let fsc = FsClusterBuilder::new()
         .vax_sites(N_SITES as usize)
         .filegroup("root", &CONTAINERS)
@@ -135,6 +154,7 @@ fn run_schedule(seed: u64) -> Result<Vec<TraceEvent>, String> {
             base_backoff: Ticks::millis(1),
             multiplier: 2,
         })
+        .io_policy(policy)
         .build();
     let net = fsc.net();
     net.set_tracing(true);
@@ -143,7 +163,7 @@ fn run_schedule(seed: u64) -> Result<Vec<TraceEvent>, String> {
     let c0 = ctx(&fsc, WRITER);
     let fdn = fd::creat(&fsc, WRITER, &c0, "/chaos", FileType::Untyped, Perms::FILE_DEFAULT)
         .map_err(|e| format!("seed {seed}: pristine creat failed: {e:?}"))?;
-    fd::write(&fsc, WRITER, fdn, &payload(0))
+    fd::write(&fsc, WRITER, fdn, &payload_padded(0, pad))
         .map_err(|e| format!("seed {seed}: pristine write failed: {e:?}"))?;
     fd::close(&fsc, WRITER, fdn)
         .map_err(|e| format!("seed {seed}: pristine close failed: {e:?}"))?;
@@ -162,14 +182,14 @@ fn run_schedule(seed: u64) -> Result<Vec<TraceEvent>, String> {
             next_version += 1;
             // A failed session may still have committed (the ack was
             // lost): `confirmed` stays, but reads may now see `v`.
-            if write_version(&fsc, v).is_ok() {
+            if write_version(&fsc, v, pad).is_ok() {
                 confirmed = v;
             }
         } else {
             let us = SiteId(wl.gen_range(0u32..N_SITES));
             let guard_before = open_guard(&fsc, us);
             let t0 = net.now();
-            let res = read_version(&fsc, us);
+            let res = read_version(&fsc, us, pad);
             let t1 = net.now();
             match res {
                 Ok(v) => {
@@ -207,7 +227,7 @@ fn run_schedule(seed: u64) -> Result<Vec<TraceEvent>, String> {
 
     let mut seen = Vec::new();
     for i in 0..N_SITES {
-        let v = read_version(&fsc, SiteId(i))
+        let v = read_version(&fsc, SiteId(i), pad)
             .map_err(|e| format!("seed {seed}: post-heal read at site {i} failed: {e:?}"))?;
         seen.push(v);
     }
@@ -230,13 +250,83 @@ fn run_schedule(seed: u64) -> Result<Vec<TraceEvent>, String> {
     Ok(net.take_trace())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn chaos_schedules_preserve_invariants(seed in any::<u64>()) {
-        let res = run_schedule(seed);
-        prop_assert!(res.is_ok(), "{}", res.err().unwrap_or_default());
+/// Runs `schedule` over every seed across `std::thread` workers. Each
+/// schedule owns its whole cluster and virtual clock, so determinism is
+/// strictly per-seed: results are byte-identical to a serial run, only
+/// the wall-clock shrinks. Failures are reported in seed order.
+fn run_schedules_parallel(seeds: &[u64], schedule: impl Fn(u64) -> Result<(), String> + Sync) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(seeds.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<(), String>>>> =
+        seeds.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let r = schedule(seeds[i]);
+                *results[i].lock().expect("no poisoned schedule slot") = Some(r);
+            });
+        }
+    });
+    for (i, slot) in results.iter().enumerate() {
+        let r = slot
+            .lock()
+            .expect("no poisoned schedule slot")
+            .take()
+            .expect("every slot ran");
+        if let Err(msg) = r {
+            panic!("schedule case {i} of {} failed:\n{msg}", seeds.len());
+        }
     }
+}
+
+/// The 256 proptest-style seeds for [`chaos_schedules_preserve_invariants`],
+/// derived exactly as the in-tree proptest shim derives them (same test
+/// name hash, same per-case rng) so the seed set is unchanged from the
+/// previous `proptest!` form — including `PROPTEST_SEED` /
+/// `PROPTEST_CASES` overrides.
+fn proptest_seed_set(test_name: &str, cases: u32) -> Vec<u64> {
+    let config = ProptestConfig::with_cases(cases);
+    let cases = runtime::case_count(&config);
+    let base = runtime::base_seed(test_name);
+    (0..cases as u64)
+        .map(|case| {
+            let mut rng = TestRng::new(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Strategy::generate(&any::<u64>(), &mut rng)
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_schedules_preserve_invariants() {
+    let seeds = proptest_seed_set(
+        concat!(module_path!(), "::chaos_schedules_preserve_invariants"),
+        256,
+    );
+    run_schedules_parallel(&seeds, |seed| run_schedule(seed).map(|_| ()));
+}
+
+/// The same availability and durability invariants must hold with batched
+/// transfers, adaptive readahead and write-behind turned on — under the
+/// very same fault plans, now dropping/duplicating/delaying multi-page
+/// `READV`/`WRITEV` messages too. Multi-page payloads make every version
+/// span several pages, so batch replies really carry windows.
+#[test]
+fn batched_chaos_schedules_preserve_invariants() {
+    let seeds = proptest_seed_set(
+        concat!(module_path!(), "::batched_chaos_schedules_preserve_invariants"),
+        64,
+    );
+    let pad = 2 * locus_storage::PAGE_SIZE + 400;
+    run_schedules_parallel(&seeds, |seed| {
+        run_schedule_with(seed, IoPolicy::batched(), pad).map(|_| ())
+    });
 }
 
 #[test]
@@ -245,6 +335,20 @@ fn identical_seed_gives_identical_trace() {
         let a = run_schedule(seed).expect("schedule upholds invariants");
         let b = run_schedule(seed).expect("schedule upholds invariants");
         assert_eq!(a, b, "seed {seed}: traces diverged between identical runs");
+    }
+}
+
+/// Identical seed ⇒ byte-identical protocol trace in batched mode too,
+/// with fault plans hitting the batched message kinds.
+#[test]
+fn batched_identical_seed_gives_identical_trace() {
+    let pad = 2 * locus_storage::PAGE_SIZE + 400;
+    for seed in [3u64, 1983, 0xFEED_FACE] {
+        let a = run_schedule_with(seed, IoPolicy::batched(), pad)
+            .expect("batched schedule upholds invariants");
+        let b = run_schedule_with(seed, IoPolicy::batched(), pad)
+            .expect("batched schedule upholds invariants");
+        assert_eq!(a, b, "seed {seed}: batched traces diverged between runs");
     }
 }
 
@@ -273,7 +377,7 @@ fn opens_always_succeed_under_pure_message_loss() {
         .install_faults(FaultPlan::new(77).default_spec(FaultSpec::drop_rate(0.3)));
     for round in 0..8u32 {
         for i in 0..N_SITES {
-            let v = read_version(&fsc, SiteId(i))
+            let v = read_version(&fsc, SiteId(i), 0)
                 .unwrap_or_else(|e| panic!("round {round}: open from site {i} failed: {e:?}"));
             assert_eq!(v, 0);
         }

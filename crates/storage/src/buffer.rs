@@ -14,6 +14,36 @@ use locus_types::{Ino, PackId};
 /// Cache key: one logical page of one file copy.
 pub type PageKey = (PackId, Ino, usize);
 
+/// Cumulative cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Pages dropped by explicit invalidation (not LRU eviction).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups; 0.0 when nothing was looked up.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise sum (for aggregating per-site caches).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+    }
+}
+
 /// A fixed-capacity LRU page cache with hit/miss accounting.
 #[derive(Debug)]
 pub struct BufferCache {
@@ -22,6 +52,7 @@ pub struct BufferCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    invalidations: u64,
 }
 
 #[derive(Debug)]
@@ -39,7 +70,15 @@ impl BufferCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            invalidations: 0,
         }
+    }
+
+    /// Whether a page is cached, without touching recency or the hit/miss
+    /// counters (the batched read path probes ahead with this so the
+    /// probes don't perturb the accounted hit ratio).
+    pub fn contains(&self, key: &PageKey) -> bool {
+        self.map.contains_key(key)
     }
 
     /// Looks up a page, refreshing its recency on hit.
@@ -85,7 +124,9 @@ impl BufferCache {
     /// Drops every cached page of a file (on commit of a new version, the
     /// old buffers are stale; on delete they are discarded).
     pub fn invalidate_file(&mut self, pack: PackId, ino: Ino) {
+        let before = self.map.len();
         self.map.retain(|(p, i, _), _| !(*p == pack && *i == ino));
+        self.invalidations += (before - self.map.len()) as u64;
     }
 
     /// Drops everything.
@@ -96,6 +137,15 @@ impl BufferCache {
     /// `(hits, misses)` since creation.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Full counters, including invalidations.
+    pub fn full_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+        }
     }
 
     /// Number of cached pages.
@@ -149,6 +199,16 @@ mod tests {
         assert!(c.get(&key(1, 0)).is_none());
         assert!(c.get(&key(1, 1)).is_none());
         assert!(c.get(&key(2, 0)).is_some());
+        assert_eq!(c.full_stats().invalidations, 2);
+    }
+
+    #[test]
+    fn contains_probe_leaves_counters_alone() {
+        let mut c = BufferCache::new(4);
+        c.put(key(1, 0), vec![1]);
+        assert!(c.contains(&key(1, 0)));
+        assert!(!c.contains(&key(1, 1)));
+        assert_eq!(c.full_stats(), CacheStats::default());
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod pack;
 pub mod shadow;
 pub mod superblock;
 
-pub use buffer::BufferCache;
+pub use buffer::{BufferCache, CacheStats};
 pub use disk::{BlockContent, BlockDevice, BlockNo, DiskParams, PAGE_SIZE};
 pub use inode::{DiskInode, PageTable, NDIRECT};
 pub use pack::Pack;
