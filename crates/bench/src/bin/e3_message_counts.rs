@@ -11,7 +11,7 @@
 //! Run with `cargo run -p locus-bench --bin e3_message_counts`. Writes
 //! `BENCH_e3.json` (honours `$BENCH_OUT_DIR`).
 
-use locus::{Cluster, OpenMode, SiteId, Ticks};
+use locus::{Cluster, OpenMode, Signal, SiteId, Ticks};
 use locus_bench::{standard_cluster, BenchReport};
 use locus_fs::ops::{commit, io, namei, open};
 use locus_fs::IoPolicy;
@@ -181,7 +181,80 @@ fn main() {
         .elapsed("seq64_batched_us", b_elapsed)
         .float("seq64_msg_ratio", msg_ratio);
 
-    println!("\npaper: §2.3.3 read/close protocols, §2.3.5 write, §2.3.6 commit.");
+    // §3 process messages: a remote fork is one FORK req, the parent's
+    // address-space pages, and one FORK resp ("the relevant set of
+    // process pages are sent to the new process site", §3.1); a
+    // cross-machine signal is one message (§3.2).
+    let cluster = standard_cluster(2, &[0]);
+    let parent = cluster.login(SiteId(0), 1).expect("login");
+    cluster.net().reset_stats();
+    let child = cluster.fork(parent, Some(SiteId(1))).expect("remote fork");
+    let st = cluster.net().stats();
+    let (fork_req, fork_pages, fork_resp) = (
+        st.sends("FORK req"),
+        st.sends("PROC page"),
+        st.sends("FORK resp"),
+    );
+    println!("\n§3 process messages (remote fork S0 -> S1, signal S0 -> S1):");
+    println!("{:<34} {:>9} {:>9}", "operation", "measured", "paper");
+    println!(
+        "{:<34} {:>9} {:>9}",
+        "fork: body allocation (req)", fork_req, 1
+    );
+    println!(
+        "{:<34} {:>9} {:>9}",
+        "fork: address-space pages", fork_pages, 16
+    );
+    println!("{:<34} {:>9} {:>9}", "fork: completion (resp)", fork_resp, 1);
+    cluster.net().reset_stats();
+    cluster
+        .kill(parent, child, Signal::Sigint)
+        .expect("remote signal");
+    let signal_msgs = cluster.net().stats().sends("SIGNAL");
+    println!("{:<34} {:>9} {:>9}", "signal across machines", signal_msgs, 1);
+    report
+        .int("fork_req_msgs", fork_req)
+        .int("fork_page_msgs", fork_pages)
+        .int("fork_resp_msgs", fork_resp)
+        .int("signal_msgs", signal_msgs);
+
+    // Per-service wire accounting: a fixed mixed workload (remote file
+    // write + remote fork/signal + a partition/merge reconfiguration with
+    // its recovery pass) tagged by originating service through the shared
+    // RPC engine.
+    let cluster = standard_cluster(4, &[0, 1, 2]);
+    let p = cluster.login(SiteId(0), 1).expect("login");
+    cluster.net().reset_stats();
+    cluster
+        .write_file(p, "/svc", &vec![7u8; 4096])
+        .expect("write");
+    cluster.settle();
+    let child = cluster.fork(p, Some(SiteId(1))).expect("fork");
+    cluster.kill(p, child, Signal::Sigkill).expect("kill");
+    cluster.partition(&[
+        vec![SiteId(0), SiteId(1)],
+        vec![SiteId(2), SiteId(3)],
+    ]);
+    cluster.reconfigure().expect("split reconfig");
+    cluster.heal();
+    cluster.reconfigure().expect("merge reconfig");
+    let st = cluster.net().stats();
+    println!("\nper-service wire accounting (mixed workload):");
+    println!(
+        "{:<12} {:>8} {:>10} {:>8} {:>7} {:>7}",
+        "service", "sends", "bytes", "retries", "drops", "losses"
+    );
+    for (name, row) in st.services() {
+        println!(
+            "{:<12} {:>8} {:>10} {:>8} {:>7} {:>7}",
+            name, row.sends, row.bytes, row.retries, row.drops, row.losses
+        );
+        report
+            .int(&format!("svc_{name}_msgs"), row.sends)
+            .int(&format!("svc_{name}_bytes"), row.bytes);
+    }
+
+    println!("\npaper: §2.3.3 read/close protocols, §2.3.5 write, §2.3.6 commit, §3 processes.");
     let path = report.write();
     println!("wrote {}", path.display());
 }

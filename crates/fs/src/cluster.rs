@@ -19,7 +19,7 @@
 use std::cell::{Cell, RefCell, RefMut};
 use std::collections::VecDeque;
 
-use locus_net::{Net, NetError, RetryPolicy};
+use locus_net::{Net, RetryPolicy, RpcEngine};
 use locus_types::{Errno, SiteId, SysResult};
 
 use crate::kernel::FsKernel;
@@ -166,61 +166,29 @@ impl FsCluster {
     }
 
     /// Synchronous remote procedure call (§2.3.2): request message, remote
-    /// handler, reply message. A same-site "call" is a plain procedure
-    /// call with no network traffic.
+    /// handler, reply message, driven by the shared
+    /// [`RpcEngine`](locus_net::RpcEngine) under the cluster's
+    /// [`RetryPolicy`]. A same-site "call" is a plain procedure call with
+    /// no network traffic.
     ///
-    /// Under fault injection the call is resilient within the cluster's
-    /// [`RetryPolicy`]: a dropped *request* never ran the handler and is
-    /// always retried (after exponential backoff charged to the virtual
-    /// clock); a dropped *reply* closed the circuit mid-conversation
-    /// (§5.1), so the request is re-issued only if it is
-    /// [idempotent](FsMsg::idempotent) — otherwise the ambiguity surfaces
-    /// as `Esitedown` and recovery reconciles.
+    /// Under fault injection the engine makes the call resilient: a
+    /// dropped *request* never ran the handler and is always retried
+    /// (after exponential backoff charged to the virtual clock); a
+    /// dropped *reply* closed the circuit mid-conversation (§5.1), so the
+    /// request is re-issued only if it is [idempotent](FsMsg::idempotent)
+    /// — otherwise the ambiguity surfaces as `Esitedown` and recovery
+    /// reconciles.
     pub(crate) fn rpc(&self, from: SiteId, to: SiteId, msg: FsMsg) -> SysResult<FsReply> {
-        if from == to {
-            return self.dispatch(to, from, msg);
-        }
-        let kind = msg.kind();
-        let reply_kind = msg.reply_kind();
-        let policy = self.retry.get();
-        let mut attempt = 0u32;
-        loop {
-            match self.net.send(from, to, kind, msg.wire_bytes()) {
-                Ok(()) => {}
-                Err(NetError::CircuitClosed) => {
-                    // The closed-circuit notice left by a lost reply (§5.1)
-                    // is local knowledge, not a wire transmission: acknowledge
-                    // it and reopen immediately, without spending an attempt.
-                    self.net.note_retry(kind);
-                    continue;
-                }
-                Err(e) if e.is_transient() && attempt + 1 < policy.max_attempts => {
-                    self.net.charge_timeout(policy.backoff(attempt));
-                    self.net.note_retry(kind);
-                    attempt += 1;
-                    continue;
-                }
-                Err(_) => return Err(Errno::Esitedown),
-            }
-            let result = self.dispatch(to, from, msg.clone());
-            // The reply (even an error reply) crosses the network too; if
-            // the partition changed while the handler ran, the reply is
-            // lost.
-            let bytes = match &result {
-                Ok(reply) => reply.wire_bytes(),
-                Err(_) => crate::cost::CONTROL_MSG_BYTES,
-            };
-            match self.net.send_reply(to, from, reply_kind, bytes) {
-                Ok(()) => return result,
-                Err(NetError::ReplyLost)
-                    if msg.idempotent() && attempt + 1 < policy.max_attempts =>
-                {
-                    self.net.charge_timeout(policy.backoff(attempt));
-                    self.net.note_retry(kind);
-                    attempt += 1;
-                }
-                Err(_) => return Err(Errno::Esitedown),
-            }
+        let engine = RpcEngine::new(self.retry.get());
+        let reply_bytes = |result: &SysResult<FsReply>| match result {
+            Ok(reply) => reply.wire_bytes(),
+            Err(_) => crate::cost::CONTROL_MSG_BYTES,
+        };
+        match engine.rpc(&self.net, from, to, msg, reply_bytes, |m| {
+            self.dispatch(to, from, m)
+        }) {
+            Ok(result) => result,
+            Err(_) => Err(Errno::Esitedown),
         }
     }
 
@@ -229,13 +197,11 @@ impl FsCluster {
     /// reply message, delivered and handled immediately. A dropped send
     /// never reached the handler, so it is always safe to retry.
     pub(crate) fn one_way(&self, from: SiteId, to: SiteId, msg: FsMsg) -> SysResult<FsReply> {
-        if from == to {
-            return self.dispatch(to, from, msg);
+        let engine = RpcEngine::new(self.retry.get());
+        match engine.one_way(&self.net, from, to, msg, |m| self.dispatch(to, from, m)) {
+            Ok(result) => result,
+            Err(_) => Err(Errno::Esitedown),
         }
-        self.net
-            .send_with_retry(from, to, msg.kind(), msg.wire_bytes(), &self.retry.get())
-            .map_err(|_| Errno::Esitedown)?;
-        self.dispatch(to, from, msg)
     }
 
     /// Queues an asynchronous post, delivered at the next

@@ -474,6 +474,30 @@ impl FsMsg {
     }
 }
 
+/// The filesystem protocol as seen by the shared
+/// [`RpcEngine`](locus_net::RpcEngine): delegates to the inherent
+/// methods above so the engine and direct callers agree on labels,
+/// sizes and idempotency.
+impl locus_net::WireMsg for FsMsg {
+    const SERVICE: &'static str = "fs";
+
+    fn kind(&self) -> &'static str {
+        FsMsg::kind(self)
+    }
+
+    fn reply_kind(&self) -> &'static str {
+        FsMsg::reply_kind(self)
+    }
+
+    fn wire_bytes(&self) -> usize {
+        FsMsg::wire_bytes(self)
+    }
+
+    fn idempotent(&self) -> bool {
+        FsMsg::idempotent(self)
+    }
+}
+
 impl FsReply {
     /// Approximate wire size of the reply.
     pub fn wire_bytes(&self) -> usize {

@@ -92,6 +92,11 @@ pub struct FaultSpec {
     pub delay_prob: f64,
     /// Extra latency charged when a delay fires.
     pub delay: Ticks,
+    /// Probability the virtual circuit to the destination fails at the
+    /// moment of the send: the circuit closes and the sender observes
+    /// [`crate::NetError::CircuitClosed`] without the message reaching
+    /// the wire (§5.1 mid-conversation circuit failure).
+    pub circuit_abort: f64,
 }
 
 impl FaultSpec {
@@ -236,6 +241,9 @@ pub(crate) enum Verdict {
     Delay(Ticks),
     /// Lost in transit.
     Drop,
+    /// The virtual circuit to the destination fails before transmission;
+    /// the sender observes `CircuitClosed` (§5.1).
+    CircuitAbort,
 }
 
 /// Live injection state: the plan plus its RNG and schedule cursor.
@@ -280,11 +288,25 @@ impl FaultInjector {
     /// reproducible per seed regardless of which probabilities are zero.
     pub(crate) fn judge(&mut self, from: SiteId, to: SiteId, kind: &str) -> Verdict {
         let spec = self.plan.spec_for(from, to, kind);
-        if spec.drop == 0.0 && spec.duplicate == 0.0 && spec.delay_prob == 0.0 {
+        if spec.drop == 0.0
+            && spec.duplicate == 0.0
+            && spec.delay_prob == 0.0
+            && spec.circuit_abort == 0.0
+        {
             return Verdict::Deliver;
         }
         let (d, dup, del) = (self.rng.gen_f64(), self.rng.gen_f64(), self.rng.gen_f64());
-        if d < spec.drop {
+        // The abort roll is consumed only when the spec can abort, and
+        // after the original three rolls, so plans without circuit aborts
+        // reproduce the exact RNG stream (and traces) of earlier versions.
+        let abort = if spec.circuit_abort > 0.0 {
+            self.rng.gen_f64()
+        } else {
+            1.0
+        };
+        if abort < spec.circuit_abort {
+            Verdict::CircuitAbort
+        } else if d < spec.drop {
             Verdict::Drop
         } else if dup < spec.duplicate {
             Verdict::Duplicate
@@ -409,6 +431,18 @@ mod tests {
         let mut inj = FaultInjector::new(plan);
         for _ in 0..10 {
             assert_eq!(inj.judge(SiteId(0), SiteId(1), "x"), Verdict::Drop);
+        }
+    }
+
+    #[test]
+    fn circuit_abort_rate_one_always_aborts() {
+        let plan = FaultPlan::new(3).default_spec(FaultSpec {
+            circuit_abort: 1.0,
+            ..Default::default()
+        });
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..10 {
+            assert_eq!(inj.judge(SiteId(0), SiteId(1), "x"), Verdict::CircuitAbort);
         }
     }
 

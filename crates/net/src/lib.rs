@@ -26,6 +26,7 @@ pub mod circuit;
 pub mod clock;
 pub mod fault;
 pub mod latency;
+pub mod rpc;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -38,7 +39,8 @@ pub use circuit::CircuitTable;
 pub use clock::VirtualClock;
 pub use fault::{FaultAction, FaultPlan, FaultSpec, RetryPolicy, ScheduledFault, SimRng};
 pub use latency::LatencyModel;
-pub use stats::NetStats;
+pub use rpc::{RpcEngine, RpcError, WireMsg, MAX_CONSECUTIVE_REOPENS};
+pub use stats::{NetStats, ServiceStats};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};
 
@@ -200,7 +202,7 @@ impl Net {
         kind: &'static str,
         bytes: usize,
     ) -> Result<(), NetError> {
-        self.send_impl(from, to, kind, bytes, false)
+        self.send_impl(from, to, kind, bytes, false, None)
     }
 
     /// Sends a *reply* message: like [`Net::send`], except an injected
@@ -214,7 +216,33 @@ impl Net {
         kind: &'static str,
         bytes: usize,
     ) -> Result<(), NetError> {
-        self.send_impl(from, to, kind, bytes, true)
+        self.send_impl(from, to, kind, bytes, true, None)
+    }
+
+    /// [`Net::send`] with the send additionally attributed to `service`
+    /// in the per-service accounting table (used by the
+    /// [`rpc::RpcEngine`]).
+    pub fn send_for(
+        &self,
+        service: &'static str,
+        from: SiteId,
+        to: SiteId,
+        kind: &'static str,
+        bytes: usize,
+    ) -> Result<(), NetError> {
+        self.send_impl(from, to, kind, bytes, false, Some(service))
+    }
+
+    /// [`Net::send_reply`] attributed to `service`.
+    pub fn send_reply_for(
+        &self,
+        service: &'static str,
+        from: SiteId,
+        to: SiteId,
+        kind: &'static str,
+        bytes: usize,
+    ) -> Result<(), NetError> {
+        self.send_impl(from, to, kind, bytes, true, Some(service))
     }
 
     fn send_impl(
@@ -224,6 +252,7 @@ impl Net {
         kind: &'static str,
         bytes: usize,
         is_reply: bool,
+        service: Option<&'static str>,
     ) -> Result<(), NetError> {
         let mut g = self.inner.borrow_mut();
         g.apply_due_faults();
@@ -241,8 +270,17 @@ impl Net {
         }
         g.circuits.ensure_open(from, to);
         let verdict = g.faults.judge(from, to, kind);
-        // The message reaches the wire in every verdict: the sender pays
-        // transmission latency whether or not delivery happens.
+        if verdict == Verdict::CircuitAbort {
+            // The virtual circuit fails before the message reaches the
+            // wire (§5.1): no transmission latency, the pair's circuit is
+            // torn down, and the sender observes the closure locally.
+            g.circuits.close_pair(from, to);
+            g.stats.circuits_closed += 1;
+            g.stats.record_failure(kind);
+            return Err(NetError::CircuitClosed);
+        }
+        // The message reaches the wire in every remaining verdict: the
+        // sender pays transmission latency whether or not delivery happens.
         let mut cost = g.latency.message_cost(bytes);
         if let Verdict::Delay(extra) = verdict {
             cost += extra;
@@ -252,6 +290,9 @@ impl Net {
         let now = g.clock.now();
         if verdict == Verdict::Drop {
             g.stats.record_drop(kind);
+            if let Some(s) = service {
+                g.stats.record_service_drop(s);
+            }
             g.trace.record(TraceEvent {
                 at: now,
                 from,
@@ -269,6 +310,9 @@ impl Net {
             };
         }
         g.stats.record(kind, bytes);
+        if let Some(s) = service {
+            g.stats.record_service_send(s, bytes);
+        }
         g.trace.record(TraceEvent {
             at: now,
             from,
@@ -310,16 +354,23 @@ impl Net {
         policy: &RetryPolicy,
     ) -> Result<(), NetError> {
         let mut attempt = 0;
+        let mut reopens = 0u32;
         loop {
             match self.send(from, to, kind, bytes) {
                 Ok(()) => return Ok(()),
                 Err(NetError::CircuitClosed) => {
                     // A closed-circuit notice is local knowledge left by a
                     // lost reply (§5.1), not a wire transmission; reopening
-                    // is immediate and spends no attempt.
+                    // is immediate and spends no attempt — but a link that
+                    // flaps on every reopen must not spin forever.
+                    if reopens >= rpc::MAX_CONSECUTIVE_REOPENS {
+                        return Err(NetError::CircuitClosed);
+                    }
+                    reopens += 1;
                     self.note_retry(kind);
                 }
                 Err(e) if e.is_transient() && attempt + 1 < policy.max_attempts => {
+                    reopens = 0;
                     self.charge_timeout(policy.backoff(attempt));
                     self.note_retry(kind);
                     attempt += 1;
@@ -333,6 +384,24 @@ impl Net {
     /// higher layers that re-issue whole RPCs rather than raw sends).
     pub fn note_retry(&self, kind: &'static str) {
         self.inner.borrow_mut().stats.record_retry(kind);
+    }
+
+    /// [`Net::note_retry`] additionally attributed to `service` in the
+    /// per-service accounting table.
+    pub fn note_retry_for(&self, service: &'static str, kind: &'static str) {
+        let mut g = self.inner.borrow_mut();
+        g.stats.record_retry(kind);
+        g.stats.record_service_retry(service);
+    }
+
+    /// Records a one-way notification of `kind` abandoned after retry
+    /// exhaustion, attributed to `service` (partition recovery later
+    /// reconciles what the notification would have carried, §4).
+    pub fn record_one_way_loss(&self, service: &'static str, kind: &'static str) {
+        self.inner
+            .borrow_mut()
+            .stats
+            .record_one_way_loss(service, kind);
     }
 
     /// Accounts local (same-site) kernel work of `cost` ticks; used by the
@@ -680,6 +749,7 @@ mod tests {
                 duplicate: 0.1,
                 delay_prob: 0.2,
                 delay: Ticks::micros(150),
+                circuit_abort: 0.0,
             }));
             for i in 0..40u32 {
                 let _ = net.send(SiteId(i % 3), SiteId((i + 1) % 3), "x", 16 + i as usize);

@@ -7,6 +7,24 @@
 
 use std::collections::BTreeMap;
 
+/// One row of the per-service wire-accounting table: every message the
+/// [`crate::rpc::RpcEngine`] moves is tagged with its originating service
+/// (`"fs"`, `"proc"`, `"topology"`, `"recovery"`), so each subsystem's
+/// share of the wire is directly reportable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Successful request and reply sends attributed to the service.
+    pub sends: u64,
+    /// Bytes carried by those sends.
+    pub bytes: u64,
+    /// Engine-level retries (resent requests and re-issued RPCs).
+    pub retries: u64,
+    /// Injected drops of the service's messages.
+    pub drops: u64,
+    /// One-way notifications abandoned after retry exhaustion.
+    pub losses: u64,
+}
+
 /// Counters of sends, bytes and failures, keyed by message kind label.
 #[derive(Clone, Debug, Default)]
 pub struct NetStats {
@@ -17,6 +35,8 @@ pub struct NetStats {
     dups: BTreeMap<&'static str, u64>,
     delays: BTreeMap<&'static str, u64>,
     retries: BTreeMap<&'static str, u64>,
+    losses: BTreeMap<&'static str, u64>,
+    services: BTreeMap<&'static str, ServiceStats>,
     /// Circuits closed by partition changes or crashes.
     pub circuits_closed: u64,
 }
@@ -58,6 +78,31 @@ impl NetStats {
         *self.retries.entry(kind).or_insert(0) += 1;
     }
 
+    /// Records a one-way notification abandoned after retry exhaustion
+    /// (the loss partition recovery later reconciles), attributed to its
+    /// originating service.
+    pub fn record_one_way_loss(&mut self, service: &'static str, kind: &'static str) {
+        *self.losses.entry(kind).or_insert(0) += 1;
+        self.services.entry(service).or_default().losses += 1;
+    }
+
+    /// Attributes a successful send to a service.
+    pub fn record_service_send(&mut self, service: &'static str, bytes: usize) {
+        let row = self.services.entry(service).or_default();
+        row.sends += 1;
+        row.bytes += bytes as u64;
+    }
+
+    /// Attributes an injected drop to a service.
+    pub fn record_service_drop(&mut self, service: &'static str) {
+        self.services.entry(service).or_default().drops += 1;
+    }
+
+    /// Attributes a retry to a service.
+    pub fn record_service_retry(&mut self, service: &'static str) {
+        self.services.entry(service).or_default().retries += 1;
+    }
+
     /// Successful sends of `kind`.
     pub fn sends(&self, kind: &str) -> u64 {
         self.sends.get(kind).copied().unwrap_or(0)
@@ -81,6 +126,26 @@ impl NetStats {
     /// Retries of `kind`.
     pub fn retries(&self, kind: &str) -> u64 {
         self.retries.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Abandoned one-way sends of `kind`.
+    pub fn one_way_losses(&self, kind: &str) -> u64 {
+        self.losses.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total abandoned one-way sends across all kinds.
+    pub fn total_one_way_losses(&self) -> u64 {
+        self.losses.values().sum()
+    }
+
+    /// The accounting row of one service (zeros if it never sent).
+    pub fn service(&self, service: &str) -> ServiceStats {
+        self.services.get(service).copied().unwrap_or_default()
+    }
+
+    /// Iterates the per-service table sorted by service name.
+    pub fn services(&self) -> impl Iterator<Item = (&'static str, ServiceStats)> + '_ {
+        self.services.iter().map(|(&s, &row)| (s, row))
     }
 
     /// Total injected drops across all kinds.
@@ -166,6 +231,27 @@ mod tests {
         assert_eq!(s.total_delays(), 1);
         assert_eq!(s.retries("OPEN req"), 1);
         assert_eq!(s.total_retries(), 1);
+    }
+
+    #[test]
+    fn service_table_accumulates_per_service() {
+        let mut s = NetStats::new();
+        s.record_service_send("fs", 64);
+        s.record_service_send("fs", 1024);
+        s.record_service_retry("fs");
+        s.record_service_send("proc", 96);
+        s.record_service_drop("proc");
+        s.record_one_way_loss("proc", "EXIT notify");
+        assert_eq!(s.service("fs").sends, 2);
+        assert_eq!(s.service("fs").bytes, 1088);
+        assert_eq!(s.service("fs").retries, 1);
+        assert_eq!(s.service("proc").drops, 1);
+        assert_eq!(s.service("proc").losses, 1);
+        assert_eq!(s.service("topology"), ServiceStats::default());
+        assert_eq!(s.one_way_losses("EXIT notify"), 1);
+        assert_eq!(s.total_one_way_losses(), 1);
+        let names: Vec<&str> = s.services().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["fs", "proc"]);
     }
 
     #[test]

@@ -31,6 +31,8 @@
 
 pub mod mgr;
 pub mod process;
+pub mod proto;
 
 pub use mgr::ProcMgr;
+pub use proto::ProcMsg;
 pub use process::{ExitStatus, ProcError, ProcState, Process, Signal};

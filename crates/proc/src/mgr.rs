@@ -8,16 +8,15 @@ use locus_fs::ops::fd as fsfd;
 use locus_fs::ops::namei;
 use locus_fs::proto::Fd;
 use locus_fs::{FsCluster, ProcFsCtx};
+use locus_net::RpcEngine;
 use locus_storage::PAGE_SIZE;
 use locus_types::{Errno, OpenMode, Pid, SiteId, SysResult, Ticks};
 
 use crate::process::{ExitStatus, ProcError, ProcState, Process, Signal};
+use crate::proto::{ProcMsg, CTRL_BYTES};
 
 /// CPU cost of setting up a process body.
 const SPAWN_CPU: Ticks = Ticks::micros(3_000);
-
-/// Wire size of a process-control message.
-const CTRL_BYTES: usize = 96;
 
 /// The network-wide process table and process-level system calls.
 ///
@@ -141,19 +140,29 @@ impl ProcMgr {
         let dest = to.unwrap_or(psnap.site);
         fsc.net().charge_cpu(SPAWN_CPU);
         if dest != psnap.site {
-            // Message exchange to allocate the process body, then the
-            // address-space pages cross the wire.
-            fsc.net()
-                .send(psnap.site, dest, "FORK req", CTRL_BYTES)
-                .map_err(|_| Errno::Esitedown)?;
-            for _ in 0..psnap.image_pages {
-                fsc.net()
-                    .send(psnap.site, dest, "PROC page", PAGE_SIZE)
-                    .map_err(|_| Errno::Esitedown)?;
-            }
-            fsc.net()
-                .send(dest, psnap.site, "FORK resp", CTRL_BYTES)
-                .map_err(|_| Errno::Esitedown)?;
+            // One RPC allocates the process body; serving it streams the
+            // address-space pages to the new site, so the wire sees
+            // FORK req · PROC page × N · FORK resp exactly as §3.1
+            // describes — now with the shared retry/backoff underneath.
+            let engine = RpcEngine::new(fsc.retry_policy());
+            let pages = psnap.image_pages;
+            engine
+                .rpc(
+                    fsc.net(),
+                    psnap.site,
+                    dest,
+                    ProcMsg::ForkReq,
+                    |_: &SysResult<()>| CTRL_BYTES,
+                    |_| {
+                        for _ in 0..pages {
+                            engine
+                                .one_way(fsc.net(), psnap.site, dest, ProcMsg::ProcPage, |_| ())
+                                .map_err(|_| Errno::Esitedown)?;
+                        }
+                        Ok(())
+                    },
+                )
+                .map_err(|_| Errno::Esitedown)??;
         }
 
         // Child inherits the environment: context, advice, descriptors
@@ -223,11 +232,15 @@ impl ProcMgr {
         }
         let dest = self.choose_exec_site(fsc, &snap, path)?;
         if dest != snap.site {
-            fsc.net()
-                .send(snap.site, dest, "EXEC req", CTRL_BYTES)
-                .map_err(|_| Errno::Esitedown)?;
-            fsc.net()
-                .send(dest, snap.site, "EXEC resp", CTRL_BYTES)
+            RpcEngine::new(fsc.retry_policy())
+                .rpc(
+                    fsc.net(),
+                    snap.site,
+                    dest,
+                    ProcMsg::ExecReq,
+                    |_: &()| CTRL_BYTES,
+                    |_| (),
+                )
                 .map_err(|_| Errno::Esitedown)?;
         }
 
@@ -283,11 +296,15 @@ impl ProcMgr {
         // …then a remote exec at the chosen site.
         let dest = self.choose_exec_site(fsc, &probe, path)?;
         if dest != psnap.site {
-            fsc.net()
-                .send(psnap.site, dest, "RUN req", CTRL_BYTES)
-                .map_err(|_| Errno::Esitedown)?;
-            fsc.net()
-                .send(dest, psnap.site, "RUN resp", CTRL_BYTES)
+            RpcEngine::new(fsc.retry_policy())
+                .rpc(
+                    fsc.net(),
+                    psnap.site,
+                    dest,
+                    ProcMsg::RunReq,
+                    |_: &()| CTRL_BYTES,
+                    |_| (),
+                )
                 .map_err(|_| Errno::Esitedown)?;
         }
         for (&no, &kfd) in &psnap.fds {
@@ -427,8 +444,8 @@ impl ProcMgr {
             return Err(Errno::Esrch);
         }
         if tsnap.site != from_site {
-            fsc.net()
-                .send(from_site, tsnap.site, "SIGNAL", CTRL_BYTES)
+            RpcEngine::new(fsc.retry_policy())
+                .one_way(fsc.net(), from_site, tsnap.site, ProcMsg::Signal, |_| ())
                 .map_err(|_| Errno::Esitedown)?;
         }
         self.with(target, |p| p.pending.push(sig))?;
@@ -471,7 +488,17 @@ impl ProcMgr {
         if let Some(parent) = snap.parent {
             if let Ok(psite) = self.site_of(parent) {
                 if psite != snap.site {
-                    let _ = fsc.net().send(snap.site, psite, "EXIT notify", CTRL_BYTES);
+                    // Best-effort notification, but no longer silent: the
+                    // engine retries under the cluster policy and records
+                    // an abandoned send as a one-way loss for recovery's
+                    // accounting (§4).
+                    let _ = RpcEngine::new(fsc.retry_policy()).one_way(
+                        fsc.net(),
+                        snap.site,
+                        psite,
+                        ProcMsg::ExitNotify,
+                        |_| (),
+                    );
                 }
                 let _ = self.with(parent, |p| p.pending.push(Signal::Sigchld));
             }

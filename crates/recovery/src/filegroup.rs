@@ -8,6 +8,7 @@ use locus_fs::kernel::PropReq;
 use locus_fs::mailbox::Mailbox;
 use locus_fs::proto::InodeInfo;
 use locus_fs::FsCluster;
+use locus_net::RpcEngine;
 use locus_storage::{ShadowSession, PAGE_SIZE};
 use locus_types::{Errno, FileType, FilegroupId, Gfid, Ino, SiteId, SysResult, VersionVector};
 
@@ -15,10 +16,8 @@ use crate::conflicts::{mark_conflict, notify_owner};
 use crate::dir_merge::merge_directories;
 use crate::mail_merge::merge_mailboxes;
 use crate::managers::MergeManagers;
+use crate::proto::{RecMsg, RECOVERY_MSG_BYTES};
 use crate::report::{FileOutcome, RecoveryReport};
-
-/// Wire size charged per recovery control message.
-const RECOVERY_MSG_BYTES: usize = 192;
 
 /// One copy of a file as seen during reconciliation.
 #[derive(Clone, Debug)]
@@ -43,15 +42,17 @@ fn gather_copies(fsc: &FsCluster, coordinator: SiteId, gfid: Gfid) -> SysResult<
             continue;
         }
         if site != coordinator {
-            fsc.net()
-                .send(coordinator, site, "RECOVERY inventory", RECOVERY_MSG_BYTES)
-                .map_err(|_| Errno::Esitedown)?;
-            fsc.net()
-                .send(
-                    site,
+            // One engine RPC per container: the inventory request now
+            // retries under the cluster policy instead of surfacing the
+            // first injected drop as a down site.
+            RpcEngine::new(fsc.retry_policy())
+                .rpc(
+                    fsc.net(),
                     coordinator,
-                    "RECOVERY inventory resp",
-                    RECOVERY_MSG_BYTES,
+                    site,
+                    RecMsg::Inventory,
+                    |_: &()| RECOVERY_MSG_BYTES,
+                    |_| (),
                 )
                 .map_err(|_| Errno::Esitedown)?;
         }
@@ -468,9 +469,16 @@ fn owner_of(fsc: &FsCluster, coordinator: SiteId, gfid: Gfid) -> u32 {
 
 fn charge_propagate(fsc: &FsCluster, from: SiteId, to: SiteId) {
     if from != to {
-        let _ = fsc
-            .net()
-            .send(from, to, "RECOVERY propagate", RECOVERY_MSG_BYTES);
+        // Best-effort, but no longer silent: the engine retries under the
+        // cluster policy and an abandoned propagation is counted as a
+        // one-way loss for recovery's accounting.
+        let _ = RpcEngine::new(fsc.retry_policy()).one_way(
+            fsc.net(),
+            from,
+            to,
+            RecMsg::Propagate,
+            |_| (),
+        );
     }
 }
 

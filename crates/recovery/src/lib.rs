@@ -36,10 +36,12 @@ pub mod dir_merge;
 pub mod filegroup;
 pub mod mail_merge;
 pub mod managers;
+pub mod proto;
 pub mod report;
 
 pub use filegroup::{
     reconcile_file, reconcile_file_with, reconcile_filegroup, reconcile_filegroup_with,
 };
 pub use managers::MergeManagers;
+pub use proto::RecMsg;
 pub use report::{FileOutcome, RecoveryReport};

@@ -1,0 +1,66 @@
+//! Typed wire protocol for recovery (§4).
+//!
+//! Inventory gathering and update propagation ride the shared
+//! [`RpcEngine`](locus_net::RpcEngine): inventories retry under the
+//! policy instead of failing on the first injected drop, and abandoned
+//! propagations are counted as one-way losses rather than vanishing
+//! silently. This module is the only place the recovery protocol's kind
+//! labels are spelled.
+
+use locus_net::WireMsg;
+
+/// Wire size charged per recovery control message.
+pub const RECOVERY_MSG_BYTES: usize = 192;
+
+/// One recovery message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecMsg {
+    /// Ask a container site for its copy's version vector and state; the
+    /// reply carries the inventory (§4.2).
+    Inventory,
+    /// Propagate a reconciled version to a stale container copy (§4.3).
+    Propagate,
+}
+
+impl WireMsg for RecMsg {
+    const SERVICE: &'static str = "recovery";
+
+    fn kind(&self) -> &'static str {
+        match self {
+            RecMsg::Inventory => "RECOVERY inventory",
+            RecMsg::Propagate => "RECOVERY propagate",
+        }
+    }
+
+    fn reply_kind(&self) -> &'static str {
+        match self {
+            RecMsg::Inventory => "RECOVERY inventory resp",
+            RecMsg::Propagate => "RECOVERY propagate ack",
+        }
+    }
+
+    fn wire_bytes(&self) -> usize {
+        RECOVERY_MSG_BYTES
+    }
+
+    /// Inventories are pure queries; propagations re-install the same
+    /// version, so both tolerate re-issue.
+    fn idempotent(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_historical_wire_format() {
+        assert_eq!(RecMsg::Inventory.kind(), "RECOVERY inventory");
+        assert_eq!(RecMsg::Inventory.reply_kind(), "RECOVERY inventory resp");
+        assert_eq!(RecMsg::Propagate.kind(), "RECOVERY propagate");
+        assert_eq!(RecMsg::Inventory.wire_bytes(), RECOVERY_MSG_BYTES);
+        assert!(RecMsg::Propagate.idempotent());
+        assert_eq!(<RecMsg as WireMsg>::SERVICE, "recovery");
+    }
+}

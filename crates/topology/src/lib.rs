@@ -31,10 +31,12 @@ pub mod cleanup;
 pub mod css;
 pub mod merge;
 pub mod partition;
+pub mod proto;
 pub mod sync;
 
 pub use cleanup::{failure_action, FailureAction, ResourceSituation};
 pub use css::select_css;
 pub use merge::{merge_protocol, MergeOutcome, MergeTimeouts};
 pub use partition::{partition_protocol, PartitionOutcome};
+pub use proto::TopoMsg;
 pub use sync::{may_wait_for, ProtocolStage};

@@ -19,11 +19,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use locus_net::{Net, RetryPolicy};
+use locus_net::{Net, RpcEngine};
 use locus_types::{SiteId, Ticks};
 
-/// Bytes per merge-protocol message.
-const MSG_BYTES: usize = 160;
+use crate::proto::{TopoMsg, MERGE_MSG_BYTES, POLL_RETRY};
 
 /// The two timeout levels of §5.5.
 #[derive(Clone, Copy, Debug)]
@@ -68,30 +67,25 @@ pub fn merge_protocol(
     beliefs: &mut BTreeMap<SiteId, BTreeSet<SiteId>>,
     timeouts: MergeTimeouts,
 ) -> MergeOutcome {
-    let retry = RetryPolicy::default();
+    let engine = RpcEngine::new(POLL_RETRY);
     let n = net.site_count() as u32;
     let mut members: BTreeSet<SiteId> = [initiator].into_iter().collect();
     let mut polls = 0;
     let mut replies = 0;
 
-    // Asynchronous poll of every site in the network. Both legs are
-    // retried within the policy so an injected drop does not shrink the
-    // merged partition; only persistently unreachable sites are skipped.
+    // Asynchronous poll of every site in the network: one engine RPC per
+    // site, retried under the policy so an injected drop does not shrink
+    // the merged partition; only persistently unreachable sites are
+    // skipped. The MERGE info reply carries the responder's partition
+    // information.
     for i in 0..n {
         let site = SiteId(i);
         if site == initiator {
             continue;
         }
         polls += 1;
-        if net
-            .send_with_retry(initiator, site, "MERGE poll", MSG_BYTES, &retry)
-            .is_err()
-        {
-            continue;
-        }
-        // The reply carries the responder's partition information.
-        if net
-            .send_with_retry(site, initiator, "MERGE info", MSG_BYTES, &retry)
+        if engine
+            .rpc(net, initiator, site, TopoMsg::MergePoll, |_: &()| MERGE_MSG_BYTES, |_| ())
             .is_ok()
         {
             replies += 1;
@@ -120,7 +114,7 @@ pub fn merge_protocol(
     // Declare the new partition and broadcast its composition.
     for &site in &members {
         if site != initiator {
-            let _ = net.send_with_retry(initiator, site, "MERGE announce", MSG_BYTES, &retry);
+            let _ = engine.one_way(net, initiator, site, TopoMsg::MergeAnnounce, |_| ());
         }
         beliefs.insert(site, members.clone());
     }

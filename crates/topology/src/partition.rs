@@ -14,11 +14,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use locus_net::{Net, RetryPolicy};
+use locus_net::{Net, RpcEngine};
 use locus_types::SiteId;
 
-/// Bytes per partition-protocol message.
-const MSG_BYTES: usize = 128;
+use crate::proto::{TopoMsg, PARTITION_MSG_BYTES, POLL_RETRY};
 
 /// Result of one active site's run of the partition protocol.
 #[derive(Clone, Debug)]
@@ -45,7 +44,7 @@ pub fn partition_protocol(
     active: SiteId,
     beliefs: &mut BTreeMap<SiteId, BTreeSet<SiteId>>,
 ) -> PartitionOutcome {
-    let retry = RetryPolicy::default();
+    let engine = RpcEngine::new(POLL_RETRY);
     let mut p_a: BTreeSet<SiteId> = beliefs
         .get(&active)
         .cloned()
@@ -61,22 +60,30 @@ pub fn partition_protocol(
         let pending: Vec<SiteId> = p_a.difference(&p_new).copied().collect();
         for site in pending {
             polls += 1;
-            // Retried within the policy so an injected message drop is not
-            // mistaken for a departed site — only persistent unreachability
-            // removes a site from the partition.
-            if net
-                .send_with_retry(active, site, "PARTITION poll", MSG_BYTES, &retry)
-                .is_err()
-            {
-                // Cannot be reached: it is not in this partition.
-                p_a.remove(&site);
-                continue;
-            }
-            let p_polled = beliefs
-                .get(&site)
-                .cloned()
-                .unwrap_or_else(|| [site].into_iter().collect());
-            let _ = net.send_with_retry(site, active, "PARTITION poll resp", MSG_BYTES, &retry);
+            // The poll is one RPC under the engine's retry/backoff, so an
+            // injected message drop is not mistaken for a departed site —
+            // only persistent unreachability removes a site from the
+            // partition. The reply carries P_pollsite back.
+            let p_polled = match engine.rpc(
+                net,
+                active,
+                site,
+                TopoMsg::PartitionPoll,
+                |_: &BTreeSet<SiteId>| PARTITION_MSG_BYTES,
+                |_| {
+                    beliefs
+                        .get(&site)
+                        .cloned()
+                        .unwrap_or_else(|| [site].into_iter().collect())
+                },
+            ) {
+                Ok(p) => p,
+                Err(_) => {
+                    // Cannot be reached: it is not in this partition.
+                    p_a.remove(&site);
+                    continue;
+                }
+            };
             // Pα := Pα ∩ P_pollsite — but the active site and the polled
             // site are in the new partition by construction.
             p_a = p_a.intersection(&p_polled).copied().collect();
@@ -93,7 +100,7 @@ pub fn partition_protocol(
     let mut announcements = 0;
     for &site in &p_new {
         if site != active {
-            let _ = net.send_with_retry(active, site, "PARTITION announce", MSG_BYTES, &retry);
+            let _ = engine.one_way(net, active, site, TopoMsg::PartitionAnnounce, |_| ());
             announcements += 1;
         }
         beliefs.insert(site, p_new.clone());
