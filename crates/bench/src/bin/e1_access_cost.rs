@@ -15,6 +15,7 @@ use locus_types::MachineType;
 
 fn main() {
     let cluster = standard_cluster(3, &[0]);
+    cluster.net().set_observing(true);
     let local = SiteId(0);
     let remote = SiteId(2);
     let p = cluster.login(local, 1).expect("login");
@@ -109,4 +110,6 @@ fn main() {
         .cache("e1", cache);
     let path = report.write();
     println!("wrote {}", path.display());
+    let trace = locus_bench::export_and_audit_trace(&cluster, "e1");
+    println!("wrote {}", trace.display());
 }

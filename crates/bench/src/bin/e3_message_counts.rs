@@ -52,6 +52,7 @@ fn main() {
     let mut report = BenchReport::new("e3");
     // Three containers so the commit fan-out is visible; diskless site 3.
     let cluster = standard_cluster(4, &[0, 1, 2]);
+    cluster.net().set_observing(true);
     let us = SiteId(3);
     let p = cluster.login(SiteId(0), 1).expect("login");
     cluster.write_file(p, "/m", &vec![3u8; 1024]).expect("seed");
@@ -180,6 +181,9 @@ fn main() {
         .int("seq64_batched_msgs", b_msgs)
         .elapsed("seq64_batched_us", b_elapsed)
         .float("seq64_msg_ratio", msg_ratio);
+
+    let trace = locus_bench::export_and_audit_trace(&cluster, "e3");
+    println!("wrote {}", trace.display());
 
     // §3 process messages: a remote fork is one FORK req, the parent's
     // address-space pages, and one FORK resp ("the relevant set of

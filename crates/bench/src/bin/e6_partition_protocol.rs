@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use locus_bench::BenchReport;
 
-use locus_net::{FaultPlan, FaultSpec, Net};
+use locus_net::{FaultPlan, FaultSpec, Net, NetStats};
 use locus_topology::partition::{partition_all, partition_protocol};
 use locus_types::SiteId;
 
@@ -104,25 +104,29 @@ fn main() {
     for n in [4u32, 8, 16, 32] {
         let net = Net::new(n as usize);
         net.install_faults(FaultPlan::new(1).default_spec(FaultSpec::drop_rate(0.20)));
-        net.reset_stats();
+        // Snapshot deltas, not run totals: faults suffered by any earlier
+        // traffic must not be attributed to the protocol run.
+        let snap = net.stats();
         let mut beliefs = full_beliefs(n);
         let out = partition_protocol(&net, SiteId(0), &mut beliefs);
         let st = net.stats();
+        let drops = NetStats::delta_total(&st.delta_drops(&snap));
+        let retries = NetStats::delta_total(&st.delta_retries(&snap));
         let consensus = out
             .members
             .iter()
             .all(|m| beliefs.get(m) == Some(&out.members));
         report
-            .int(&format!("n{n}.lossy_drops"), st.total_drops())
-            .int(&format!("n{n}.lossy_retries"), st.total_retries());
+            .int(&format!("n{n}.lossy_drops"), drops)
+            .int(&format!("n{n}.lossy_retries"), retries);
         virtual_us += net.now().as_micros();
-        msgs += st.total_sends();
+        msgs += NetStats::delta_total(&st.delta_sends(&snap));
         println!(
             "{:<8} {:>10} {:>9} {:>9} {:>9} {:>10}",
             n,
             out.polls + out.announcements,
-            st.total_drops(),
-            st.total_retries(),
+            drops,
+            retries,
             out.members.len(),
             consensus
         );

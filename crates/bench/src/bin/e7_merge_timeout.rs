@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use locus_bench::BenchReport;
 
-use locus_net::{FaultPlan, FaultSpec, Net};
+use locus_net::{FaultPlan, FaultSpec, Net, NetStats};
 use locus_topology::merge::{merge_protocol, MergeTimeouts};
 use locus_types::{SiteId, Ticks};
 
@@ -105,16 +105,20 @@ fn main() {
     for n in [4u32, 8, 16, 32] {
         let net = Net::new(n as usize);
         net.install_faults(FaultPlan::new(7).default_spec(FaultSpec::drop_rate(0.20)));
-        net.reset_stats();
+        // Snapshot deltas, not run totals: faults suffered by any earlier
+        // traffic must not be attributed to the protocol run.
+        let snap = net.stats();
         let mut beliefs = beliefs_split(n, n / 2);
         let out = merge_protocol(&net, SiteId(0), &mut beliefs, adaptive);
         let st = net.stats();
+        let drops = NetStats::delta_total(&st.delta_drops(&snap));
+        let retries = NetStats::delta_total(&st.delta_retries(&snap));
         println!(
             "{:<8} {:>10} {:>9} {:>9} {:>9}",
             n,
             out.polls + out.replies + (out.members.len() as u32 - 1),
-            st.total_drops(),
-            st.total_retries(),
+            drops,
+            retries,
             out.members.len()
         );
         assert_eq!(
@@ -123,8 +127,11 @@ fn main() {
             "a lossy link must not shrink the merge"
         );
         report
-            .int(&format!("n{n}.lossy_retries"), st.total_retries())
-            .int(&format!("n{n}.lossy_msgs"), st.total_sends());
+            .int(&format!("n{n}.lossy_retries"), retries)
+            .int(
+                &format!("n{n}.lossy_msgs"),
+                NetStats::delta_total(&st.delta_sends(&snap)),
+            );
         virtual_us += net.now().as_micros();
     }
     println!();

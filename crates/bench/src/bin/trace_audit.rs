@@ -1,0 +1,297 @@
+//! **trace_audit** — the offline trace auditor run as a CI gate.
+//!
+//! Replays a fixed subset of the chaos-suite seeds across the three
+//! workload families (filesystem sessions, remote fork/exit, partition
+//! and merge reconfiguration) with span observability enabled, and
+//! requires every schedule's trace to:
+//!
+//! 1. be complete (no events dropped past the observer cap),
+//! 2. survive a JSONL export → parse round trip byte-for-byte, and
+//! 3. audit clean against the protocol invariants (reply matching,
+//!    idempotent re-issue, bounded circuit reopens, commit/read
+//!    interleaving, one-way loss accounting).
+//!
+//! It then proves the auditor actually *rejects* bad traces by injecting
+//! three corruptions — an orphan reply, an over-budget circuit-reopen
+//! burst, and a read interleaved inside a commit's critical section —
+//! and requiring a violation report for each.
+//!
+//! Run with `cargo run -p locus-bench --bin trace_audit`. Exits nonzero
+//! (panics) on any violation, so CI can gate on it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use locus::{Cluster, SiteId, Ticks};
+use locus_net::{
+    audit, export_jsonl, parse_jsonl, FaultPlan, FaultSpec, Net, ObsEvent, RetryPolicy,
+    SendOutcome, SimRng, MAX_CONSECUTIVE_REOPENS,
+};
+use locus_topology::{merge_protocol, partition_protocol, MergeTimeouts};
+use locus_types::Errno;
+
+/// The fixed seed subset CI replays; small enough to stay fast, spread
+/// enough to exercise drops, duplicates, delays and retry exhaustion.
+const SEEDS: [u64; 6] = [1, 7, 21, 0xACE5, 0xFEED, 0xD15EA5E];
+
+/// Seed-derived message faults (same envelope as the chaos harnesses:
+/// up to 30 % drop, duplicates, delays), without crash windows — the
+/// schedules here tolerate per-op failure but not vanishing sites.
+fn plan_for(seed: u64) -> FaultPlan {
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x000A_DD17);
+    FaultPlan::new(seed).default_spec(FaultSpec {
+        drop: 0.05 + rng.gen_f64() * 0.25,
+        duplicate: rng.gen_f64() * 0.10,
+        delay_prob: rng.gen_f64() * 0.20,
+        delay: Ticks::micros(rng.gen_range(20u64..200)),
+        circuit_abort: 0.0,
+    })
+}
+
+fn generous_retries(cluster: &Cluster) {
+    cluster.fs().set_retry_policy(RetryPolicy {
+        max_attempts: 12,
+        base_backoff: Ticks::millis(1),
+        multiplier: 2,
+    });
+}
+
+/// Filesystem workload: remote write/read sessions from a diskless site
+/// under message loss; individual ops may fail, the trace may not lie.
+fn fs_trace(seed: u64) -> Vec<ObsEvent> {
+    let cluster = Cluster::builder()
+        .vax_sites(4)
+        .filegroup("root", &[0, 1])
+        .build();
+    generous_retries(&cluster);
+    cluster.net().set_observing(true);
+    let writer = cluster.login(SiteId(0), 1).expect("login writer");
+    let reader = cluster.login(SiteId(3), 2).expect("login reader");
+    cluster
+        .write_file(writer, "/audited", &vec![0u8; 2048])
+        .expect("pristine seed write");
+    cluster.settle();
+
+    cluster.net().install_faults(plan_for(seed));
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x00D1_5EA5);
+    for step in 0..10u32 {
+        if rng.gen_bool(0.5) {
+            let body = vec![step as u8; 1024 + 512 * (step as usize % 3)];
+            match cluster.write_file(writer, "/audited", &body) {
+                Ok(()) | Err(Errno::Esitedown) | Err(Errno::Eio) => {}
+                Err(e) => panic!("seed {seed} step {step}: write failed with {e:?}"),
+            }
+        } else {
+            match cluster.read_file(reader, "/audited") {
+                Ok(_) | Err(Errno::Esitedown) | Err(Errno::Eio) => {}
+                Err(e) => panic!("seed {seed} step {step}: read failed with {e:?}"),
+            }
+        }
+    }
+    cluster.net().clear_faults();
+    cluster.heal();
+    cluster.settle();
+    assert_eq!(
+        cluster.net().obs_truncated(),
+        0,
+        "seed {seed}: fs trace truncated"
+    );
+    cluster.net().take_obs_events()
+}
+
+/// Process workload: remote forks, exits and reaps under message loss.
+fn proc_trace(seed: u64) -> Vec<ObsEvent> {
+    let cluster = Cluster::builder()
+        .vax_sites(4)
+        .filegroup("root", &[0, 1])
+        .build();
+    generous_retries(&cluster);
+    cluster.net().set_observing(true);
+    let parent = cluster.login(SiteId(0), 1).expect("login parent");
+
+    cluster.net().install_faults(plan_for(seed));
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x00F0_27C5);
+    let mut live = Vec::new();
+    for step in 0..8u32 {
+        let dest = SiteId(rng.gen_range(0u32..4));
+        match cluster.fork(parent, Some(dest)) {
+            Ok(child) => live.push(child),
+            Err(Errno::Esitedown) => {}
+            Err(e) => panic!("seed {seed} step {step}: fork failed with {e:?}"),
+        }
+    }
+    let expected = live.len();
+    for child in live {
+        cluster.exit(child, 0).expect("exit child");
+    }
+    let mut reaped = 0;
+    while let Ok(Some(_)) = cluster.wait(parent) {
+        reaped += 1;
+    }
+    assert_eq!(reaped, expected, "seed {seed}: every fork success reaps");
+    cluster.net().clear_faults();
+    cluster.settle();
+    assert_eq!(
+        cluster.net().obs_truncated(),
+        0,
+        "seed {seed}: proc trace truncated"
+    );
+    cluster.net().take_obs_events()
+}
+
+/// Reconfiguration workload: the §5.4 partition protocol followed by the
+/// §5.5 merge protocol under message loss and a mid-poll crash window.
+fn topology_trace(seed: u64) -> Vec<ObsEvent> {
+    const N: u32 = 5;
+    let net = Net::new(N as usize);
+    net.set_observing(true);
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0070_7070);
+    let spec = FaultSpec {
+        drop: 0.05 + rng.gen_f64() * 0.25,
+        duplicate: rng.gen_f64() * 0.10,
+        delay_prob: rng.gen_f64() * 0.20,
+        delay: Ticks::micros(rng.gen_range(20u64..200)),
+        circuit_abort: 0.0,
+    };
+    let victim = SiteId(rng.gen_range(1u32..N));
+    let at = Ticks::micros(rng.gen_range(100u64..4_000));
+    let until = Ticks::micros(at.as_micros() + rng.gen_range(5_000u64..40_000));
+    net.install_faults(
+        FaultPlan::new(seed)
+            .default_spec(spec)
+            .crash_window(victim, at, until),
+    );
+    let all: BTreeSet<SiteId> = (0..N).map(SiteId).collect();
+    let mut beliefs: BTreeMap<SiteId, BTreeSet<SiteId>> =
+        (0..N).map(|i| (SiteId(i), all.clone())).collect();
+    let _ = partition_protocol(&net, SiteId(0), &mut beliefs);
+    let _ = merge_protocol(&net, SiteId(0), &mut beliefs, MergeTimeouts::default());
+    assert_eq!(
+        net.obs_truncated(),
+        0,
+        "seed {seed}: topology trace truncated"
+    );
+    net.take_obs_events()
+}
+
+/// Audits one trace: JSONL round trip plus a clean violation report.
+fn require_clean(family: &str, seed: u64, events: &[ObsEvent]) {
+    let jsonl = export_jsonl(events);
+    let parsed = parse_jsonl(&jsonl).unwrap_or_else(|e| {
+        panic!("{family} seed {seed}: exported trace failed to parse: {e}")
+    });
+    assert_eq!(
+        parsed, *events,
+        "{family} seed {seed}: JSONL export/parse must round-trip"
+    );
+    let report = audit(&parsed);
+    println!("  {family:<10} seed {seed:>9}: {}", report.summary());
+    assert!(
+        report.is_clean(),
+        "{family} seed {seed}: trace audit found protocol violations: {:?}",
+        report.violations
+    );
+}
+
+/// The auditor must *reject* a corrupted trace: a passing gate that
+/// cannot fail proves nothing.
+fn require_rejected(name: &str, events: &[ObsEvent], expect: &str) {
+    let report = audit(events);
+    assert!(
+        !report.is_clean(),
+        "auditor accepted the corrupted `{name}` trace"
+    );
+    assert!(
+        report.violations.iter().any(|v| v.contains(expect)),
+        "`{name}` violations {:?} never mention `{expect}`",
+        report.violations
+    );
+    println!("  rejects {name}: {}", report.violations[0]);
+}
+
+fn main() {
+    println!("trace_audit: protocol-invariant audit over the fixed chaos-seed subset\n");
+    println!("clean traces (every schedule must audit with zero violations):");
+    for &seed in &SEEDS {
+        require_clean("fs", seed, &fs_trace(seed));
+        require_clean("proc", seed, &proc_trace(seed));
+        require_clean("topology", seed, &topology_trace(seed));
+    }
+
+    // Self-test: corrupt a well-formed stream in three distinct ways and
+    // demand a violation for each.
+    println!("\ncorrupted traces (every injection must be rejected):");
+
+    // 1. An orphan reply: no request to site 1 is outstanding.
+    let mut orphan = topology_trace(SEEDS[0]);
+    orphan.push(ObsEvent::Reply {
+        span: 0,
+        at: Ticks::micros(999_999),
+        from: SiteId(1),
+        to: SiteId(0),
+        kind: "PART resp".to_owned(),
+        bytes: 16,
+        outcome: SendOutcome::Delivered,
+    });
+    require_rejected("orphan-reply", &orphan, "orphan reply");
+
+    // 2. A circuit-reopen burst one past the engine's budget.
+    let mut reopen = Vec::new();
+    reopen.push(ObsEvent::SpanOpen {
+        id: 1,
+        parent: 0,
+        service: "fs".to_owned(),
+        op: "READ req".to_owned(),
+        site: SiteId(0),
+        at: Ticks::micros(1),
+    });
+    for i in 0..(MAX_CONSECUTIVE_REOPENS as u64 + 2) {
+        reopen.push(ObsEvent::Request {
+            span: 1,
+            at: Ticks::micros(2 + i),
+            from: SiteId(0),
+            to: SiteId(1),
+            kind: "READ req".to_owned(),
+            reply_kind: "READ resp".to_owned(),
+            bytes: 32,
+            idempotent: true,
+            outcome: SendOutcome::CircuitClosed,
+        });
+    }
+    reopen.push(ObsEvent::SpanClose {
+        id: 1,
+        outcome: "circuit-flapping".to_owned(),
+        at: Ticks::micros(99),
+    });
+    require_rejected("reopen-burst", &reopen, "reopen budget");
+
+    // 3. A read of the committing version inside the commit bracket.
+    let interleave = vec![
+        ObsEvent::Note {
+            span: 0,
+            at: Ticks::micros(10),
+            site: SiteId(0),
+            key: "commit.begin".to_owned(),
+            label: "fg1/7".to_owned(),
+            value: 5,
+        },
+        ObsEvent::Note {
+            span: 0,
+            at: Ticks::micros(11),
+            site: SiteId(0),
+            key: "read.page".to_owned(),
+            label: "fg1/7".to_owned(),
+            value: 5,
+        },
+        ObsEvent::Note {
+            span: 0,
+            at: Ticks::micros(12),
+            site: SiteId(0),
+            key: "commit.end".to_owned(),
+            label: "fg1/7".to_owned(),
+            value: 5,
+        },
+    ];
+    require_rejected("commit-read-interleave", &interleave, "commit");
+
+    println!("\ntrace_audit: all clean traces audited, all corruptions rejected");
+}

@@ -204,6 +204,29 @@ impl FsCluster {
         }
     }
 
+    /// Runs `f` as one observed syscall-level operation: opens an
+    /// observability span for service `"fs"` around it and closes it
+    /// with the outcome (`"ok"` or the errno name). A no-op wrapper
+    /// while observation is off.
+    pub(crate) fn with_span<T>(
+        &self,
+        op: &str,
+        site: SiteId,
+        f: impl FnOnce() -> SysResult<T>,
+    ) -> SysResult<T> {
+        if !self.net.observing() {
+            return f();
+        }
+        let span = self.net.obs_span_open("fs", op, site);
+        let out = f();
+        let outcome = match &out {
+            Ok(_) => "ok".to_owned(),
+            Err(e) => format!("{e:?}"),
+        };
+        self.net.obs_span_close(span, &outcome);
+        out
+    }
+
     /// Queues an asynchronous post, delivered at the next
     /// [`settle`](Self::settle). Posts to sites that become unreachable
     /// are silently dropped — partition recovery reconciles later (§4).
@@ -212,10 +235,53 @@ impl FsCluster {
         self.pending.borrow_mut().push_back((from, to, msg));
     }
 
+    /// Describes the current background-work state: pending-queue length
+    /// and head message kinds, plus every nonempty per-site propagation
+    /// queue. This is the panic payload when [`FsCluster::settle`] fails
+    /// to quiesce, so a livelock is diagnosable from the message alone.
+    pub fn settle_diagnostics(&self) -> String {
+        let pending = self.pending.borrow();
+        let mut out = format!("pending queue: {} message(s)", pending.len());
+        let kinds: Vec<String> = pending
+            .iter()
+            .rev()
+            .take(8)
+            .map(|(from, to, m)| format!("{} -> {} {}", from, to, m.kind()))
+            .collect();
+        if !kinds.is_empty() {
+            out.push_str(&format!(
+                "; newest first: [{}]{}",
+                kinds.join(", "),
+                if pending.len() > kinds.len() { ", …" } else { "" }
+            ));
+        }
+        let mut any_prop = false;
+        for site in self.sites() {
+            let k = self.kernel(site);
+            let depth = k.prop_queue_len();
+            if depth > 0 {
+                any_prop = true;
+                let head = k
+                    .prop_queue
+                    .front()
+                    .map(|r| format!("{:?} from {}", r.gfid, r.source))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "; {site} prop_queue depth {depth} (head: {head})"
+                ));
+            }
+        }
+        if !any_prop {
+            out.push_str("; all prop_queues empty");
+        }
+        out
+    }
+
     /// Drains all background work: pending commit notifications and the
     /// per-site propagation queues, until quiescent.
     pub fn settle(&self) {
-        for _ in 0..10_000 {
+        const SETTLE_ROUNDS: usize = 10_000;
+        for _ in 0..SETTLE_ROUNDS {
             let mut moved = false;
             loop {
                 let item = self.pending.borrow_mut().pop_front();
@@ -244,8 +310,12 @@ impl FsCluster {
                 return;
             }
         }
-        // Unreachable in practice; a livelock here would be a protocol bug.
-        panic!("settle did not quiesce");
+        // Unreachable in practice; a livelock here would be a protocol
+        // bug — report the stuck state so it is diagnosable.
+        panic!(
+            "settle did not quiesce after {SETTLE_ROUNDS} rounds: {}",
+            self.settle_diagnostics()
+        );
     }
 
     /// Whether any background work is pending (tests use this to observe
@@ -330,5 +400,51 @@ impl FsCluster {
                 Ok(FsReply::Ok)
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FsClusterBuilder;
+    use crate::kernel::PropReq;
+    use locus_types::{FilegroupId, Gfid};
+
+    fn cluster() -> FsCluster {
+        FsClusterBuilder::new()
+            .vax_sites(3)
+            .filegroup("root", &[0, 1])
+            .build()
+    }
+
+    /// Regression: the "settle did not quiesce" panic used to carry no
+    /// state at all. The diagnostics must name the queue depths and the
+    /// stuck message kinds.
+    #[test]
+    fn settle_diagnostics_report_queues_and_kinds() {
+        let fsc = cluster();
+        let quiet = fsc.settle_diagnostics();
+        assert!(quiet.contains("pending queue: 0 message(s)"), "{quiet}");
+        assert!(quiet.contains("all prop_queues empty"), "{quiet}");
+
+        let gfid = Gfid::new(FilegroupId(1), locus_types::Ino(7));
+        fsc.post(SiteId(0), SiteId(1), FsMsg::Invalidate { gfid });
+        fsc.post(SiteId(0), SiteId(2), FsMsg::PullOpen { gfid });
+        fsc.kernel(SiteId(2)).enqueue_propagation(PropReq {
+            gfid,
+            source: SiteId(0),
+            pages: None,
+        });
+        let stuck = fsc.settle_diagnostics();
+        assert!(stuck.contains("pending queue: 2 message(s)"), "{stuck}");
+        assert!(stuck.contains("PULL open"), "newest kind named: {stuck}");
+        assert!(stuck.contains("S2 prop_queue depth 1"), "{stuck}");
+        assert!(stuck.contains("from S0"), "propagation source named: {stuck}");
+
+        fsc.settle();
+        assert!(!fsc.has_pending_background_work());
+        assert!(fsc
+            .settle_diagnostics()
+            .contains("pending queue: 0 message(s)"));
     }
 }

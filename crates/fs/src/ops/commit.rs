@@ -19,6 +19,16 @@ pub fn commit_at(
     ss: SiteId,
     meta: Option<MetaUpdate>,
 ) -> SysResult<InodeInfo> {
+    fsc.with_span("commit", us, || commit_at_inner(fsc, us, gfid, ss, meta))
+}
+
+fn commit_at_inner(
+    fsc: &FsCluster,
+    us: SiteId,
+    gfid: Gfid,
+    ss: SiteId,
+    meta: Option<MetaUpdate>,
+) -> SysResult<InodeInfo> {
     fsc.net().charge_cpu(cost::SYSCALL_CPU);
     // Commit is a write-behind flush point: every buffered page must be in
     // the SS's shadow session before the session is committed.
@@ -43,14 +53,16 @@ pub fn commit_at(
 /// Discards uncommitted changes of `gfid` at `ss` ("undo any changes back
 /// to the previous commit point").
 pub fn abort_at(fsc: &FsCluster, us: SiteId, gfid: Gfid, ss: SiteId) -> SysResult<()> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
-    io::discard_write_behind(fsc, us, gfid);
-    if ss == us {
-        handle_abort(fsc, ss, gfid)?;
-    } else {
-        fsc.rpc(us, ss, FsMsg::AbortChanges { gfid })?;
-    }
-    Ok(())
+    fsc.with_span("abort", us, || {
+        fsc.net().charge_cpu(cost::SYSCALL_CPU);
+        io::discard_write_behind(fsc, us, gfid);
+        if ss == us {
+            handle_abort(fsc, ss, gfid)?;
+        } else {
+            fsc.rpc(us, ss, FsMsg::AbortChanges { gfid })?;
+        }
+        Ok(())
+    })
 }
 
 /// SS-side commit handler: installs the shadow pages atomically, bumps the
@@ -98,7 +110,22 @@ pub(crate) fn handle_commit(
         let origin = pack.origin();
         let mut vv = sess.working().vv.clone();
         vv.bump(origin);
-        sess.commit(pack, vv)?;
+        // The begin/end pair brackets the atomic shadow-page install; the
+        // trace auditor checks that no read of the committing version
+        // lands between them.
+        let vv_total = vv.total();
+        if fsc.net().observing() {
+            fsc.net()
+                .obs_note(ss, "commit.begin", &gfid.to_string(), vv_total);
+        }
+        let committed = sess.commit(pack, vv);
+        if fsc.net().observing() {
+            // The bracket closes whether the install succeeded or was
+            // rejected atomically — either way the critical section ended.
+            fsc.net()
+                .obs_note(ss, "commit.end", &gfid.to_string(), vv_total);
+        }
+        committed?;
         let pack_id = pack.id();
         let info = InodeInfo::from(pack.inode(gfid.ino).expect("just committed"));
         let io_cost = pack.take_io_cost();

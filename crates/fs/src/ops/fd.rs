@@ -112,6 +112,10 @@ fn ticket_of(fsc: &FsCluster, site: SiteId, fd: Fd) -> SysResult<OpenTicket> {
 
 /// Reads up to `n` bytes at the descriptor's offset.
 pub fn read(fsc: &FsCluster, site: SiteId, fd: Fd, n: usize) -> SysResult<Vec<u8>> {
+    fsc.with_span("read", site, || read_inner(fsc, site, fd, n))
+}
+
+fn read_inner(fsc: &FsCluster, site: SiteId, fd: Fd, n: usize) -> SysResult<Vec<u8>> {
     fsc.net().charge_cpu(cost::SYSCALL_CPU);
     ensure_token(fsc, site, fd)?;
     let (gfid, ss, offset, size, kind) = {
@@ -236,6 +240,10 @@ fn reselect_ss(
 
 /// Writes `data` at the descriptor's offset.
 pub fn write(fsc: &FsCluster, site: SiteId, fd: Fd, data: &[u8]) -> SysResult<usize> {
+    fsc.with_span("write", site, || write_inner(fsc, site, fd, data))
+}
+
+fn write_inner(fsc: &FsCluster, site: SiteId, fd: Fd, data: &[u8]) -> SysResult<usize> {
     fsc.net().charge_cpu(cost::SYSCALL_CPU);
     ensure_token(fsc, site, fd)?;
     let (gfid, ss, offset, size, kind, mode) = {

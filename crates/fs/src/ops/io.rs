@@ -127,17 +127,29 @@ pub(crate) fn handle_read_page(
     gfid: Gfid,
     lpn: usize,
 ) -> SysResult<FsReply> {
-    let (data, io) = {
+    let (data, io, vv_total) = {
         let mut k = fsc.kernel(ss);
         let data = cached_local_page(&mut k, gfid, lpn)?;
         let io = k
             .pack_of(gfid.fg)
             .map(|p| p.take_io_cost())
             .unwrap_or_default();
-        (data, io)
+        let vv_total = k.local_info(gfid).map(|i| i.vv.total()).unwrap_or(0);
+        (data, io, vv_total)
     };
+    note_read(fsc, ss, gfid, vv_total);
     fsc.net().charge_cpu(io + cost::PAGE_SERVICE_CPU);
     Ok(FsReply::Page { data })
+}
+
+/// Emits the `read.page` observability note the trace auditor matches
+/// against `commit.begin`/`commit.end` brackets: a served page must never
+/// carry the version currently being installed.
+fn note_read(fsc: &FsCluster, ss: SiteId, gfid: Gfid, vv_total: u64) {
+    if fsc.net().observing() {
+        fsc.net()
+            .obs_note(ss, "read.page", &gfid.to_string(), vv_total);
+    }
 }
 
 /// Fetches one logical page for a US with a *batched* readahead window
@@ -221,6 +233,7 @@ pub(crate) fn handle_read_pages(
 ) -> SysResult<FsReply> {
     let mut pages = Vec::with_capacity(count.max(1));
     let mut io = locus_types::Ticks::ZERO;
+    let vv_total;
     {
         let mut k = fsc.kernel(ss);
         for i in 0..count.max(1) {
@@ -233,7 +246,9 @@ pub(crate) fn handle_read_pages(
                 Err(_) => break,
             }
         }
+        vv_total = k.local_info(gfid).map(|i| i.vv.total()).unwrap_or(0);
     }
+    note_read(fsc, ss, gfid, vv_total);
     fsc.net()
         .charge_cpu(io + cost::PAGE_SERVICE_CPU.scaled(pages.len() as u64));
     Ok(FsReply::Pages { pages })

@@ -24,9 +24,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use std::collections::BTreeMap;
+
 use locus_fs::ops::fd;
 use locus_fs::{FsCluster, FsClusterBuilder, IoPolicy, ProcFsCtx};
-use locus_net::{FaultPlan, FaultSpec, RetryPolicy, SimRng, TraceEvent};
+use locus_net::{FaultPlan, FaultSpec, Histogram, RetryPolicy, SimRng, TraceEvent};
 use locus_types::{FileType, MachineType, OpenMode, Perms, SiteId, SysResult, Ticks};
 use proptest::prelude::*;
 use proptest::{runtime, TestRng};
@@ -135,10 +137,15 @@ fn read_version(fsc: &FsCluster, us: SiteId, pad: usize) -> SysResult<u32> {
         .ok_or(locus_types::Errno::Eio)
 }
 
+/// What a clean schedule run yields: the protocol trace plus the
+/// per-(service, op) virtual-time latency histograms, both of which must
+/// be byte-identical across identical-seed replays.
+type ScheduleObservation = (Vec<TraceEvent>, BTreeMap<(String, String), Histogram>);
+
 /// Runs one complete seeded schedule under the paper-faithful per-page
-/// protocols; returns the network trace on success or a description of
-/// the violated invariant.
-fn run_schedule(seed: u64) -> Result<Vec<TraceEvent>, String> {
+/// protocols; returns the network trace and latency histograms on
+/// success, or a description of the violated invariant.
+fn run_schedule(seed: u64) -> Result<ScheduleObservation, String> {
     run_schedule_with(seed, IoPolicy::paper_faithful(), 0)
 }
 
@@ -146,7 +153,7 @@ fn run_schedule(seed: u64) -> Result<Vec<TraceEvent>, String> {
 /// policy, with `pad` extra payload bytes (multi-page versions stress
 /// batched reads, readahead windows and write-behind flushes under the
 /// same fault plans).
-fn run_schedule_with(seed: u64, policy: IoPolicy, pad: usize) -> Result<Vec<TraceEvent>, String> {
+fn run_schedule_with(seed: u64, policy: IoPolicy, pad: usize) -> Result<ScheduleObservation, String> {
     let fsc = FsClusterBuilder::new()
         .vax_sites(N_SITES as usize)
         .filegroup("root", &CONTAINERS)
@@ -159,6 +166,7 @@ fn run_schedule_with(seed: u64, policy: IoPolicy, pad: usize) -> Result<Vec<Trac
         .build();
     let net = fsc.net();
     net.set_tracing(true);
+    net.set_observing(true);
 
     // Create version 0 on a pristine network, fully propagated.
     let c0 = ctx(&fsc, WRITER);
@@ -248,7 +256,28 @@ fn run_schedule_with(seed: u64, policy: IoPolicy, pad: usize) -> Result<Vec<Trac
             next_version - 1
         ));
     }
-    Ok(net.take_trace())
+
+    // A truncated trace would make the determinism comparisons (and the
+    // audit below) prefix-only: fail loudly instead of comparing less.
+    if net.trace_truncated() > 0 || net.obs_truncated() > 0 {
+        return Err(format!(
+            "seed {seed}: trace truncated ({} protocol events, {} observability \
+             events dropped past the caps)",
+            net.trace_truncated(),
+            net.obs_truncated()
+        ));
+    }
+    // Every schedule's span trace must audit clean against the protocol
+    // invariants (reply matching, idempotent re-issue, bounded circuit
+    // reopens, commit/read interleaving, one-way loss accounting).
+    let audit = locus_net::audit(&net.take_obs_events());
+    if !audit.is_clean() {
+        return Err(format!(
+            "seed {seed}: trace audit found violations: {:?}",
+            audit.violations
+        ));
+    }
+    Ok((net.take_trace(), net.obs_histograms()))
 }
 
 /// Runs `schedule` over every seed across `std::thread` workers. Each
@@ -333,9 +362,17 @@ fn batched_chaos_schedules_preserve_invariants() {
 #[test]
 fn identical_seed_gives_identical_trace() {
     for seed in [3u64, 1983, 0xFEED_FACE] {
-        let a = run_schedule(seed).expect("schedule upholds invariants");
-        let b = run_schedule(seed).expect("schedule upholds invariants");
-        assert_eq!(a, b, "seed {seed}: traces diverged between identical runs");
+        let (ta, ha) = run_schedule(seed).expect("schedule upholds invariants");
+        let (tb, hb) = run_schedule(seed).expect("schedule upholds invariants");
+        assert_eq!(ta, tb, "seed {seed}: traces diverged between identical runs");
+        assert_eq!(
+            ha, hb,
+            "seed {seed}: latency histograms diverged between identical runs"
+        );
+        assert!(
+            !ha.is_empty(),
+            "seed {seed}: the schedule must feed the op histograms"
+        );
     }
 }
 
@@ -345,11 +382,15 @@ fn identical_seed_gives_identical_trace() {
 fn batched_identical_seed_gives_identical_trace() {
     let pad = 2 * locus_storage::PAGE_SIZE + 400;
     for seed in [3u64, 1983, 0xFEED_FACE] {
-        let a = run_schedule_with(seed, IoPolicy::batched(), pad)
+        let (ta, ha) = run_schedule_with(seed, IoPolicy::batched(), pad)
             .expect("batched schedule upholds invariants");
-        let b = run_schedule_with(seed, IoPolicy::batched(), pad)
+        let (tb, hb) = run_schedule_with(seed, IoPolicy::batched(), pad)
             .expect("batched schedule upholds invariants");
-        assert_eq!(a, b, "seed {seed}: batched traces diverged between runs");
+        assert_eq!(ta, tb, "seed {seed}: batched traces diverged between runs");
+        assert_eq!(
+            ha, hb,
+            "seed {seed}: batched latency histograms diverged between runs"
+        );
     }
 }
 

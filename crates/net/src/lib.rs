@@ -26,6 +26,7 @@ pub mod circuit;
 pub mod clock;
 pub mod fault;
 pub mod latency;
+pub mod obs;
 pub mod rpc;
 pub mod stats;
 pub mod topology;
@@ -39,6 +40,10 @@ pub use circuit::CircuitTable;
 pub use clock::VirtualClock;
 pub use fault::{FaultAction, FaultPlan, FaultSpec, RetryPolicy, ScheduledFault, SimRng};
 pub use latency::LatencyModel;
+pub use obs::{
+    audit, export_jsonl, parse_jsonl, render_op_stats, AuditReport, Histogram, ObsEvent, Observer,
+    OpStat, SendOutcome,
+};
 pub use rpc::{RpcEngine, RpcError, WireMsg, MAX_CONSECUTIVE_REOPENS};
 pub use stats::{NetStats, ServiceStats};
 pub use topology::Topology;
@@ -117,6 +122,7 @@ struct Inner {
     latency: LatencyModel,
     stats: NetStats,
     trace: Trace,
+    obs: Observer,
     faults: FaultInjector,
 }
 
@@ -164,6 +170,7 @@ impl Net {
                 latency,
                 stats: NetStats::new(),
                 trace: Trace::new(),
+                obs: Observer::new(),
                 faults: FaultInjector::inert(),
             }),
         }
@@ -515,6 +522,139 @@ impl Net {
     /// Drains and returns the recorded trace events.
     pub fn take_trace(&self) -> Vec<TraceEvent> {
         self.inner.borrow_mut().trace.take()
+    }
+
+    /// How many trace events were silently discarded past the trace cap
+    /// since the last [`Net::take_trace`]. A determinism check comparing
+    /// truncated traces compares prefixes, not schedules — callers should
+    /// fail when this is nonzero.
+    pub fn trace_truncated(&self) -> u64 {
+        self.inner.borrow().trace.truncated()
+    }
+
+    /// Enables or disables span observation ([`obs`]).
+    pub fn set_observing(&self, on: bool) {
+        self.inner.borrow_mut().obs.set_enabled(on);
+    }
+
+    /// Whether span observation is enabled.
+    pub fn observing(&self) -> bool {
+        self.inner.borrow().obs.enabled()
+    }
+
+    /// Opens an observability span for a syscall-level operation (or a
+    /// nested engine RPC) on behalf of `site`; returns the span id to
+    /// pass to [`Net::obs_span_close`] (0 while observation is off).
+    pub fn obs_span_open(&self, service: &str, op: &str, site: SiteId) -> u64 {
+        let mut g = self.inner.borrow_mut();
+        let now = g.clock.now();
+        g.obs.span_open(now, service, op, site)
+    }
+
+    /// Closes an observability span with an outcome label, feeding its
+    /// virtual-time duration into the per-(service, op) histogram.
+    pub fn obs_span_close(&self, span: u64, outcome: &str) {
+        let mut g = self.inner.borrow_mut();
+        let now = g.clock.now();
+        g.obs.span_close(now, span, outcome);
+    }
+
+    /// Records one request transmission attempt under `span` (used by the
+    /// [`rpc::RpcEngine`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn obs_request(
+        &self,
+        span: u64,
+        from: SiteId,
+        to: SiteId,
+        kind: &str,
+        reply_kind: &str,
+        bytes: u64,
+        idempotent: bool,
+        result: &Result<(), NetError>,
+    ) {
+        let mut g = self.inner.borrow_mut();
+        let now = g.clock.now();
+        g.obs.request(
+            now,
+            span,
+            from,
+            to,
+            kind,
+            reply_kind,
+            bytes,
+            idempotent,
+            obs::SendOutcome::of(result),
+        );
+    }
+
+    /// Records one reply transmission attempt under `span`.
+    pub fn obs_reply(
+        &self,
+        span: u64,
+        from: SiteId,
+        to: SiteId,
+        kind: &str,
+        bytes: u64,
+        result: &Result<(), NetError>,
+    ) {
+        let mut g = self.inner.borrow_mut();
+        let now = g.clock.now();
+        g.obs
+            .reply(now, span, from, to, kind, bytes, obs::SendOutcome::of(result));
+    }
+
+    /// Records one one-way transmission attempt under `span`.
+    pub fn obs_one_way(
+        &self,
+        span: u64,
+        from: SiteId,
+        to: SiteId,
+        kind: &str,
+        bytes: u64,
+        result: &Result<(), NetError>,
+    ) {
+        let mut g = self.inner.borrow_mut();
+        let now = g.clock.now();
+        g.obs
+            .one_way(now, span, from, to, kind, bytes, obs::SendOutcome::of(result));
+    }
+
+    /// Records a one-way send abandoned after retry exhaustion under
+    /// `span` (paired with [`Net::record_one_way_loss`]).
+    pub fn obs_one_way_loss(&self, span: u64, kind: &str) {
+        let mut g = self.inner.borrow_mut();
+        let now = g.clock.now();
+        g.obs.one_way_loss(now, span, kind);
+    }
+
+    /// Records a protocol annotation (e.g. `commit.begin`), attached to
+    /// the innermost open span.
+    pub fn obs_note(&self, site: SiteId, key: &str, label: &str, value: u64) {
+        let mut g = self.inner.borrow_mut();
+        let now = g.clock.now();
+        g.obs.note(now, site, key, label, value);
+    }
+
+    /// Drains the recorded observability events (histograms persist).
+    pub fn take_obs_events(&self) -> Vec<ObsEvent> {
+        self.inner.borrow_mut().obs.take_events()
+    }
+
+    /// How many observability events were discarded past the cap since
+    /// the last [`Net::take_obs_events`].
+    pub fn obs_truncated(&self) -> u64 {
+        self.inner.borrow().obs.truncated()
+    }
+
+    /// Snapshot of the per-(service, op) virtual-time latency histograms.
+    pub fn obs_histograms(&self) -> std::collections::BTreeMap<(String, String), Histogram> {
+        self.inner.borrow().obs.histograms()
+    }
+
+    /// Per-(service, op) latency summary rows (count, p50, p95, max).
+    pub fn op_stats(&self) -> Vec<OpStat> {
+        self.inner.borrow().obs.op_stats()
     }
 
     /// The latency model in force.

@@ -79,6 +79,19 @@ pub enum RpcError {
     CircuitFlapping,
 }
 
+impl RpcError {
+    /// Short stable label used as a span outcome in the observability
+    /// layer ([`crate::obs`]).
+    pub fn code(self) -> &'static str {
+        match self {
+            RpcError::Unreachable => "unreachable",
+            RpcError::RetriesExhausted => "retries-exhausted",
+            RpcError::ReplyLost => "reply-lost",
+            RpcError::CircuitFlapping => "circuit-flapping",
+        }
+    }
+}
+
 impl core::fmt::Display for RpcError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let s = match self {
@@ -127,17 +140,55 @@ impl RpcEngine {
         to: SiteId,
         msg: M,
         reply_bytes: impl Fn(&R) -> usize,
-        mut serve: impl FnMut(M) -> R,
+        serve: impl FnMut(M) -> R,
     ) -> Result<R, RpcError> {
         if from == to {
+            let mut serve = serve;
             return Ok(serve(msg));
         }
+        // Every remote RPC is a span of its own, nested under whatever
+        // syscall-level span the caller opened; its attempts, reopens
+        // and the reply are recorded as events inside it.
+        let span = net.obs_span_open(M::SERVICE, msg.kind(), from);
+        let out = self.rpc_remote(net, span, from, to, msg, reply_bytes, serve);
+        net.obs_span_close(
+            span,
+            match &out {
+                Ok(_) => "ok",
+                Err(e) => e.code(),
+            },
+        );
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rpc_remote<M: WireMsg, R>(
+        &self,
+        net: &Net,
+        span: u64,
+        from: SiteId,
+        to: SiteId,
+        msg: M,
+        reply_bytes: impl Fn(&R) -> usize,
+        mut serve: impl FnMut(M) -> R,
+    ) -> Result<R, RpcError> {
         let kind = msg.kind();
         let reply_kind = msg.reply_kind();
         let mut attempt = 0u32;
         let mut reopens = 0u32;
         loop {
-            match net.send_for(M::SERVICE, from, to, kind, msg.wire_bytes()) {
+            let sent = net.send_for(M::SERVICE, from, to, kind, msg.wire_bytes());
+            net.obs_request(
+                span,
+                from,
+                to,
+                kind,
+                reply_kind,
+                msg.wire_bytes() as u64,
+                msg.idempotent(),
+                &sent,
+            );
+            match sent {
                 Ok(()) => reopens = 0,
                 Err(NetError::CircuitClosed) => {
                     // The closed-circuit notice left by a lost reply (§5.1)
@@ -168,7 +219,9 @@ impl RpcEngine {
             // A reply dropped on the wire and a circuit aborted before
             // the reply reached the wire look identical to the waiting
             // requester: the request was served, the answer never came.
-            match net.send_reply_for(M::SERVICE, to, from, reply_kind, bytes) {
+            let replied = net.send_reply_for(M::SERVICE, to, from, reply_kind, bytes);
+            net.obs_reply(span, to, from, reply_kind, bytes as u64, &replied);
+            match replied {
                 Ok(()) => return Ok(result),
                 Err(NetError::ReplyLost | NetError::CircuitClosed)
                     if msg.idempotent() && attempt + 1 < self.policy.max_attempts =>
@@ -203,15 +256,42 @@ impl RpcEngine {
         if from == to {
             return Ok(serve(msg));
         }
+        // One span per one-way call, so "delivered exactly once, or
+        // counted lost exactly once" is auditable per call rather than
+        // smeared across a whole schedule.
+        let span = net.obs_span_open(M::SERVICE, msg.kind(), from);
+        let out = self.one_way_remote(net, span, from, to, msg, serve);
+        net.obs_span_close(
+            span,
+            match &out {
+                Ok(_) => "ok",
+                Err(e) => e.code(),
+            },
+        );
+        out
+    }
+
+    fn one_way_remote<M: WireMsg, R>(
+        &self,
+        net: &Net,
+        span: u64,
+        from: SiteId,
+        to: SiteId,
+        msg: M,
+        serve: impl FnOnce(M) -> R,
+    ) -> Result<R, RpcError> {
         let kind = msg.kind();
         let mut attempt = 0u32;
         let mut reopens = 0u32;
         loop {
-            match net.send_for(M::SERVICE, from, to, kind, msg.wire_bytes()) {
+            let sent = net.send_for(M::SERVICE, from, to, kind, msg.wire_bytes());
+            net.obs_one_way(span, from, to, kind, msg.wire_bytes() as u64, &sent);
+            match sent {
                 Ok(()) => return Ok(serve(msg)),
                 Err(NetError::CircuitClosed) => {
                     if reopens >= MAX_CONSECUTIVE_REOPENS {
                         net.record_one_way_loss(M::SERVICE, kind);
+                        net.obs_one_way_loss(span, kind);
                         return Err(RpcError::CircuitFlapping);
                     }
                     reopens += 1;
@@ -224,6 +304,7 @@ impl RpcEngine {
                 }
                 Err(e) => {
                     net.record_one_way_loss(M::SERVICE, kind);
+                    net.obs_one_way_loss(span, kind);
                     return Err(match e {
                         NetError::Unreachable => RpcError::Unreachable,
                         _ => RpcError::RetriesExhausted,
@@ -442,6 +523,81 @@ mod tests {
             net.stats().retries("TEST query") > MAX_CONSECUTIVE_REOPENS as u64,
             "the total reopen count exceeded the per-burst bound"
         );
+    }
+
+    #[test]
+    fn engine_calls_emit_auditable_spans_and_feed_histograms() {
+        let net = Net::new(2);
+        net.set_observing(true);
+        let engine = RpcEngine::new(RetryPolicy::default());
+        engine
+            .rpc(&net, SiteId(0), SiteId(1), TestMsg::Query, |_: &u32| 32, |_| 7u32)
+            .expect("rpc");
+        engine
+            .one_way(&net, SiteId(0), SiteId(1), TestMsg::Transition, |_| ())
+            .expect("one-way");
+        let report = crate::obs::audit(&net.take_obs_events());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.spans, 2);
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.replies, 1);
+        assert_eq!(report.one_ways, 1);
+        let stats = net.op_stats();
+        assert!(stats
+            .iter()
+            .any(|s| s.service == "test" && s.op == "TEST query" && s.count == 1));
+        assert!(stats
+            .iter()
+            .any(|s| s.op == "TEST transition" && s.count == 1));
+    }
+
+    #[test]
+    fn same_site_calls_open_no_spans() {
+        let net = Net::new(2);
+        net.set_observing(true);
+        let engine = RpcEngine::new(RetryPolicy::default());
+        engine
+            .rpc(&net, SiteId(1), SiteId(1), TestMsg::Query, |_: &u32| 32, |_| 1u32)
+            .expect("local call");
+        engine
+            .one_way(&net, SiteId(1), SiteId(1), TestMsg::Transition, |_| ())
+            .expect("local one-way");
+        assert!(net.take_obs_events().is_empty(), "§2.3.3: no traffic, no spans");
+    }
+
+    #[test]
+    fn engine_traffic_under_heavy_faults_audits_clean() {
+        // Drops, duplicates, delays, circuit aborts and lost replies all
+        // mixed: whatever the engine actually did must satisfy the
+        // audited invariants (losses recorded, reopens bounded,
+        // re-issue only when idempotent, replies matched).
+        let net = Net::new(3);
+        net.set_observing(true);
+        net.install_faults(FaultPlan::new(42).default_spec(FaultSpec {
+            drop: 0.25,
+            duplicate: 0.1,
+            delay_prob: 0.15,
+            delay: Ticks::micros(80),
+            circuit_abort: 0.1,
+        }));
+        let engine = RpcEngine::new(RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Ticks::millis(1),
+            multiplier: 2,
+        });
+        for i in 0..60u32 {
+            let from = SiteId(i % 3);
+            let to = SiteId((i + 1) % 3);
+            if i % 3 == 0 {
+                let _ = engine.one_way(&net, from, to, TestMsg::Transition, |_| ());
+            } else {
+                let _ = engine.rpc(&net, from, to, TestMsg::Query, |_: &u32| 16, |_| 1u32);
+            }
+        }
+        assert_eq!(net.obs_truncated(), 0);
+        let report = crate::obs::audit(&net.take_obs_events());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.requests > 0 && report.one_ways > 0);
     }
 
     #[test]

@@ -188,9 +188,34 @@ impl NetStats {
     /// Message-count difference against an earlier snapshot; used to count
     /// messages of a single operation.
     pub fn delta_sends(&self, earlier: &NetStats) -> BTreeMap<&'static str, u64> {
+        Self::diff(&self.sends, &earlier.sends)
+    }
+
+    /// Injected-drop difference against an earlier snapshot. Run *totals*
+    /// misattribute faults suffered by setup traffic; a per-operation
+    /// figure must be a delta between snapshots bracketing the operation.
+    pub fn delta_drops(&self, earlier: &NetStats) -> BTreeMap<&'static str, u64> {
+        Self::diff(&self.drops, &earlier.drops)
+    }
+
+    /// Retry difference against an earlier snapshot (see
+    /// [`NetStats::delta_drops`]).
+    pub fn delta_retries(&self, earlier: &NetStats) -> BTreeMap<&'static str, u64> {
+        Self::diff(&self.retries, &earlier.retries)
+    }
+
+    /// Sum of one delta table's counts across all kinds.
+    pub fn delta_total(delta: &BTreeMap<&'static str, u64>) -> u64 {
+        delta.values().sum()
+    }
+
+    fn diff(
+        now: &BTreeMap<&'static str, u64>,
+        earlier: &BTreeMap<&'static str, u64>,
+    ) -> BTreeMap<&'static str, u64> {
         let mut out = BTreeMap::new();
-        for (&k, &n) in &self.sends {
-            let d = n - earlier.sends(k);
+        for (&k, &n) in now {
+            let d = n - earlier.get(k).copied().unwrap_or(0);
             if d > 0 {
                 out.insert(k, d);
             }
@@ -265,5 +290,32 @@ mod tests {
         assert_eq!(d.get("OPEN req"), Some(&1));
         assert_eq!(d.get("OPEN resp"), Some(&1));
         assert_eq!(d.len(), 2);
+    }
+
+    /// Regression: per-operation drop/retry figures used to be computed
+    /// from run totals, silently absorbing faults suffered by setup
+    /// traffic before the measured operation began.
+    #[test]
+    fn drop_and_retry_deltas_exclude_earlier_faults() {
+        let mut s = NetStats::new();
+        // Setup traffic suffers faults too.
+        s.record_drop("OPEN req");
+        s.record_retry("OPEN req");
+        let snap = s.clone();
+        // The measured operation.
+        s.record_drop("PTN poll");
+        s.record_drop("PTN poll");
+        s.record_retry("PTN poll");
+        let drops = s.delta_drops(&snap);
+        let retries = s.delta_retries(&snap);
+        assert_eq!(drops.get("PTN poll"), Some(&2));
+        assert_eq!(drops.get("OPEN req"), None, "setup drops excluded");
+        assert_eq!(retries.get("PTN poll"), Some(&1));
+        assert_eq!(NetStats::delta_total(&drops), 2);
+        assert_eq!(NetStats::delta_total(&retries), 1);
+        assert!(
+            s.total_drops() > NetStats::delta_total(&drops),
+            "the totals really do overcount the operation"
+        );
     }
 }

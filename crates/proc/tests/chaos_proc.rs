@@ -77,6 +77,7 @@ fn plan_for(seed: u64) -> FaultPlan {
 /// plan, each successful child exited and reaped.
 fn run_schedule(seed: u64) -> Result<(), String> {
     let (fsc, pm) = cluster();
+    fsc.net().set_observing(true);
     fsc.net().install_faults(plan_for(seed));
     let mut rng = SimRng::seed_from_u64(seed ^ 0x00D1_5EA5);
     let parent = pm
@@ -119,6 +120,21 @@ fn run_schedule(seed: u64) -> Result<(), String> {
     }
     if reaped != expected {
         return Err(format!("reaped {reaped} children, expected {expected}"));
+    }
+
+    // The schedule's span trace must be complete and audit clean.
+    if fsc.net().obs_truncated() > 0 {
+        return Err(format!(
+            "seed {seed}: {} observability events dropped past the cap",
+            fsc.net().obs_truncated()
+        ));
+    }
+    let audit = locus_net::audit(&fsc.net().take_obs_events());
+    if !audit.is_clean() {
+        return Err(format!(
+            "seed {seed}: trace audit found violations: {:?}",
+            audit.violations
+        ));
     }
     Ok(())
 }
@@ -236,14 +252,24 @@ fn lost_exit_notify_is_counted_not_silent() {
 /// the proc protocol inherits the engine's determinism.
 #[test]
 fn proc_protocol_trace_is_deterministic() {
-    let run = |seed: u64| -> Vec<TraceEvent> {
+    type Observation = (
+        Vec<TraceEvent>,
+        std::collections::BTreeMap<(String, String), locus_net::Histogram>,
+    );
+    let run = |seed: u64| -> Observation {
         let (fsc, pm) = cluster();
         fsc.net().set_tracing(true);
+        fsc.net().set_observing(true);
         fsc.net().install_faults(plan_for(seed));
         let _ = run_schedule_traced(seed, &fsc, &pm);
-        fsc.net().take_trace()
+        assert_eq!(fsc.net().trace_truncated(), 0, "trace must be complete");
+        (fsc.net().take_trace(), fsc.net().obs_histograms())
     };
-    assert_eq!(run(0xFEED), run(0xFEED));
+    let (ta, ha) = run(0xFEED);
+    let (tb, hb) = run(0xFEED);
+    assert_eq!(ta, tb, "protocol traces diverged between identical runs");
+    assert_eq!(ha, hb, "latency histograms diverged between identical runs");
+    assert!(ha.keys().any(|(svc, _)| svc == "proc"), "proc ops observed");
 }
 
 /// The schedule body reused by the determinism check (faults already

@@ -174,6 +174,26 @@ pub fn reconcile_file_with(
     report: &mut RecoveryReport,
     managers: &MergeManagers,
 ) -> SysResult<FileOutcome> {
+    if !fsc.net().observing() {
+        return reconcile_file_inner(fsc, coordinator, gfid, report, managers);
+    }
+    let span = fsc.net().obs_span_open("recovery", "reconcile", coordinator);
+    let out = reconcile_file_inner(fsc, coordinator, gfid, report, managers);
+    let outcome = match &out {
+        Ok(_) => "ok".to_owned(),
+        Err(e) => format!("{e:?}"),
+    };
+    fsc.net().obs_span_close(span, &outcome);
+    out
+}
+
+fn reconcile_file_inner(
+    fsc: &FsCluster,
+    coordinator: SiteId,
+    gfid: Gfid,
+    report: &mut RecoveryReport,
+    managers: &MergeManagers,
+) -> SysResult<FileOutcome> {
     let copies = gather_copies(fsc, coordinator, gfid)?;
     if copies.is_empty() {
         return Ok(FileOutcome::Consistent);

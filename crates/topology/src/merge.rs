@@ -67,6 +67,18 @@ pub fn merge_protocol(
     beliefs: &mut BTreeMap<SiteId, BTreeSet<SiteId>>,
     timeouts: MergeTimeouts,
 ) -> MergeOutcome {
+    let span = net.obs_span_open("topology", "merge-poll", initiator);
+    let out = merge_protocol_inner(net, initiator, beliefs, timeouts);
+    net.obs_span_close(span, "ok");
+    out
+}
+
+fn merge_protocol_inner(
+    net: &Net,
+    initiator: SiteId,
+    beliefs: &mut BTreeMap<SiteId, BTreeSet<SiteId>>,
+    timeouts: MergeTimeouts,
+) -> MergeOutcome {
     let engine = RpcEngine::new(POLL_RETRY);
     let n = net.site_count() as u32;
     let mut members: BTreeSet<SiteId> = [initiator].into_iter().collect();

@@ -44,6 +44,17 @@ pub fn partition_protocol(
     active: SiteId,
     beliefs: &mut BTreeMap<SiteId, BTreeSet<SiteId>>,
 ) -> PartitionOutcome {
+    let span = net.obs_span_open("topology", "partition-poll", active);
+    let out = partition_protocol_inner(net, active, beliefs);
+    net.obs_span_close(span, "ok");
+    out
+}
+
+fn partition_protocol_inner(
+    net: &Net,
+    active: SiteId,
+    beliefs: &mut BTreeMap<SiteId, BTreeSet<SiteId>>,
+) -> PartitionOutcome {
     let engine = RpcEngine::new(POLL_RETRY);
     let mut p_a: BTreeSet<SiteId> = beliefs
         .get(&active)

@@ -68,6 +68,7 @@ fn plan_for(seed: u64) -> (FaultPlan, SiteId) {
 /// window that opens mid-poll.
 fn run_schedule(seed: u64) -> Result<(), String> {
     let net = Net::new(N_SITES as usize);
+    net.set_observing(true);
     let (plan, _victim) = plan_for(seed);
     net.install_faults(plan);
     let mut beliefs = full_beliefs();
@@ -106,6 +107,21 @@ fn run_schedule(seed: u64) -> Result<(), String> {
                 mo.members
             ));
         }
+    }
+
+    // The schedule's span trace must be complete and audit clean.
+    if net.obs_truncated() > 0 {
+        return Err(format!(
+            "seed {seed}: {} observability events dropped past the cap",
+            net.obs_truncated()
+        ));
+    }
+    let audit = locus_net::audit(&net.take_obs_events());
+    if !audit.is_clean() {
+        return Err(format!(
+            "seed {seed}: trace audit found violations: {:?}",
+            audit.violations
+        ));
     }
     Ok(())
 }
@@ -196,15 +212,28 @@ fn mid_poll_crash_excludes_the_victim_and_keeps_consensus() {
 /// the reconfiguration protocols inherit the engine's determinism.
 #[test]
 fn reconfig_trace_is_deterministic() {
-    let run = |seed: u64| -> Vec<TraceEvent> {
+    type Observation = (
+        Vec<TraceEvent>,
+        BTreeMap<(String, String), locus_net::Histogram>,
+    );
+    let run = |seed: u64| -> Observation {
         let net = Net::new(N_SITES as usize);
         net.set_tracing(true);
+        net.set_observing(true);
         let (plan, _) = plan_for(seed);
         net.install_faults(plan);
         let mut beliefs = full_beliefs();
         let _ = partition_protocol(&net, ACTIVE, &mut beliefs);
         let _ = merge_protocol(&net, ACTIVE, &mut beliefs, MergeTimeouts::default());
-        net.take_trace()
+        assert_eq!(net.trace_truncated(), 0, "trace must be complete");
+        (net.take_trace(), net.obs_histograms())
     };
-    assert_eq!(run(0xACE5), run(0xACE5));
+    let (ta, ha) = run(0xACE5);
+    let (tb, hb) = run(0xACE5);
+    assert_eq!(ta, tb, "protocol traces diverged between identical runs");
+    assert_eq!(ha, hb, "latency histograms diverged between identical runs");
+    assert!(
+        ha.keys().any(|(svc, _)| svc == "topology"),
+        "topology ops observed"
+    );
 }
