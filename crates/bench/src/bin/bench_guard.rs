@@ -11,8 +11,8 @@
 //! * every baseline key must be present in the measured report.
 //!
 //! Run with `cargo run -p locus-bench --bin bench_guard [-- names...]`
-//! (default: `e1 e3`). Reads measured reports from `$BENCH_OUT_DIR` or
-//! the current directory, baselines from `$BENCH_BASELINE_DIR` or
+//! (default: `e1 e3 e12`). Reads measured reports from `$BENCH_OUT_DIR`
+//! or `target/bench`, baselines from `$BENCH_BASELINE_DIR` or
 //! `crates/bench/baselines`.
 
 use std::collections::BTreeMap;
@@ -88,14 +88,14 @@ fn main() -> ExitCode {
     let names: Vec<String> = {
         let args: Vec<String> = std::env::args().skip(1).collect();
         if args.is_empty() {
-            vec!["e1".into(), "e3".into()]
+            vec!["e1".into(), "e3".into(), "e12".into()]
         } else {
             args
         }
     };
     let measured_dir = std::env::var_os("BENCH_OUT_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+        .unwrap_or_else(|| PathBuf::from("target/bench"));
     let baseline_dir = std::env::var_os("BENCH_BASELINE_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("crates/bench/baselines"));

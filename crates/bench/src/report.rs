@@ -6,7 +6,7 @@
 //! hand-rolled: the schema is one flat object of numbers and strings, and
 //! the container carries no JSON dependency.
 //!
-//! Output lands in `$BENCH_OUT_DIR` when set, else the current directory.
+//! Output lands in `$BENCH_OUT_DIR` when set, else `target/bench`.
 
 use std::path::PathBuf;
 
@@ -143,18 +143,15 @@ impl BenchReport {
         out
     }
 
-    /// Writes `BENCH_<name>.json` to `$BENCH_OUT_DIR` (or the current
-    /// directory) and returns the path written.
+    /// Writes `BENCH_<name>.json` to [`crate::out_dir`] and returns the
+    /// path written.
     ///
     /// # Panics
     ///
     /// Panics if the file cannot be written — an experiment run whose
     /// report is silently lost would defeat the CI guard.
     pub fn write(&self) -> PathBuf {
-        let dir = std::env::var_os("BENCH_OUT_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("."));
-        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let path = crate::out_dir().join(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, self.render())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         path

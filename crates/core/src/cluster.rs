@@ -68,6 +68,12 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables the using-site name/attribute cache (off by default).
+    pub fn name_cache(mut self, on: bool) -> Self {
+        self.inner = self.inner.name_cache(on);
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
         let fsc = self.inner.build();

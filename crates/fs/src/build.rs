@@ -40,6 +40,7 @@ pub struct FsClusterBuilder {
     latency: LatencyModel,
     retry: RetryPolicy,
     io_policy: IoPolicy,
+    name_cache: bool,
 }
 
 impl Default for FsClusterBuilder {
@@ -59,6 +60,7 @@ impl FsClusterBuilder {
             latency: LatencyModel::ethernet_1983(),
             retry: RetryPolicy::default(),
             io_policy: IoPolicy::paper_faithful(),
+            name_cache: false,
         }
     }
 
@@ -121,6 +123,13 @@ impl FsClusterBuilder {
     /// transfers, adaptive readahead and write-behind).
     pub fn io_policy(mut self, policy: IoPolicy) -> Self {
         self.io_policy = policy;
+        self
+    }
+
+    /// Enables the using-site name/attribute cache (off by default; see
+    /// [`crate::namecache`]).
+    pub fn name_cache(mut self, on: bool) -> Self {
+        self.name_cache = on;
         self
     }
 
@@ -257,6 +266,7 @@ impl FsClusterBuilder {
         let fsc = FsCluster::from_parts(net, kernels);
         fsc.set_retry_policy(self.retry);
         fsc.set_io_policy(self.io_policy);
+        fsc.set_name_cache(self.name_cache);
         fsc
     }
 }

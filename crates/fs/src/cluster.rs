@@ -86,6 +86,7 @@ pub struct FsCluster {
     pub(crate) mail_seq: Cell<u32>,
     pub(crate) retry: Cell<RetryPolicy>,
     pub(crate) io_policy: Cell<IoPolicy>,
+    pub(crate) name_cache_on: Cell<bool>,
 }
 
 impl FsCluster {
@@ -101,6 +102,7 @@ impl FsCluster {
             mail_seq: Cell::new(1),
             retry: Cell::new(RetryPolicy::default()),
             io_policy: Cell::new(IoPolicy::paper_faithful()),
+            name_cache_on: Cell::new(false),
         }
     }
 
@@ -123,6 +125,18 @@ impl FsCluster {
     /// Replaces the page-transfer policy.
     pub fn set_io_policy(&self, policy: IoPolicy) {
         self.io_policy.set(policy);
+    }
+
+    /// Whether the using-site name/attribute cache serves resolutions
+    /// (off by default: the paper-faithful protocol re-reads every
+    /// directory on every search, §2.3.4).
+    pub fn name_cache_enabled(&self) -> bool {
+        self.name_cache_on.get()
+    }
+
+    /// Enables or disables the using-site name/attribute cache.
+    pub fn set_name_cache(&self, on: bool) {
+        self.name_cache_on.set(on);
     }
 
     /// Number of sites.
@@ -399,6 +413,7 @@ impl FsCluster {
                 k.invalidate_caches_for(gfid);
                 Ok(FsReply::Ok)
             }
+            FsMsg::VvCheck { gfid } => ops::namei::handle_vv_check(self, at, gfid),
         }
     }
 }

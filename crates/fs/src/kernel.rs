@@ -145,10 +145,11 @@ pub struct FsKernel {
     /// whose own data copy is stale still "knows what the most current
     /// version of the file is" (§2.3.1) through this table.
     pub(crate) latest: HashMap<Gfid, locus_types::VersionVector>,
-    /// The version under which remotely fetched pages were cached — the
-    /// page-valid check (§3.2 fn 1): an open under a newer version drops
-    /// the stale buffers.
-    pub(crate) cache_vv: HashMap<Gfid, locus_types::VersionVector>,
+    /// The name-lookup and attribute cache (§2.3.4 acceleration), which
+    /// also carries the page-valid tags of §3.2 fn 1: an open under a
+    /// newer version drops the stale buffers. Public so recovery can
+    /// flush it alongside [`FsKernel::clear_latest`].
+    pub name_cache: crate::namecache::NameAttrCache,
     /// Per-file write-behind buffers (batched I/O mode only).
     pub(crate) write_behind: HashMap<Gfid, WriteBehind>,
 }
@@ -172,7 +173,7 @@ impl FsKernel {
             devices: HashMap::new(),
             prop_queue: VecDeque::new(),
             latest: HashMap::new(),
-            cache_vv: HashMap::new(),
+            name_cache: crate::namecache::NameAttrCache::new(),
             write_behind: HashMap::new(),
         }
     }
@@ -337,15 +338,19 @@ impl FsKernel {
         self.cache.stats()
     }
 
-    /// Full buffer-cache counters, including invalidations.
+    /// Full cache counters: buffer-cache pages plus the name/attribute
+    /// cache, merged into one [`locus_storage::CacheStats`].
     pub fn cache_full_stats(&self) -> locus_storage::CacheStats {
-        self.cache.full_stats()
+        let mut s = self.cache.full_stats();
+        self.name_cache.merge_stats(&mut s);
+        s
     }
 
-    /// Drops every cached page of `gfid`, local and network-fetched.
-    /// Recovery calls this after rewriting copies behind the cache's back.
+    /// Drops every cached page of `gfid`, local and network-fetched,
+    /// plus its name/attribute entries. Recovery calls this after
+    /// rewriting copies behind the cache's back.
     pub fn invalidate_caches_for(&mut self, gfid: Gfid) {
-        self.cache_vv.remove(&gfid);
+        self.name_cache.invalidate(gfid);
         if let Some(p) = self.pack_of(gfid.fg) {
             let pid = p.id();
             self.cache.invalidate_file(pid, gfid.ino);

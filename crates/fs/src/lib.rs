@@ -36,6 +36,7 @@ pub mod incore;
 pub mod kernel;
 pub mod mailbox;
 pub mod mount;
+pub mod namecache;
 pub mod ops;
 pub mod pipe;
 pub mod proto;

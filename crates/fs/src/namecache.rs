@@ -1,0 +1,314 @@
+//! The per-site name-lookup and attribute cache (§2.3.4 acceleration).
+//!
+//! Pathname searching dominates filesystem message traffic: the baseline
+//! protocol pays an internal open → read-all-pages → close exchange for
+//! every component of every path, and every attribute interrogation pays
+//! an open/close pair. This cache keeps whole directory contents and
+//! [`InodeInfo`] attributes at the using site, each tagged with the
+//! version vector it was read at, and revalidates an entry with a single
+//! cheap CSS version probe ([`crate::proto::FsMsg::VvCheck`]) instead of
+//! re-reading pages — the client-caching lineage of Sprite and AFS
+//! grafted onto the paper's version-vector machinery.
+//!
+//! Coherence is three-fold:
+//!
+//! * **validate on use** — an entry is served only when its version
+//!   vector covers the most current version the CSS knows (§2.3.1); a
+//!   diskless using site receives no commit notifications, so the probe,
+//!   not the notification, is the coherence backbone;
+//! * **invalidate on write** — local directory mutation (`dir_update`
+//!   commits), inbound commit notifications, replica propagation and
+//!   explicit `Invalidate` messages all drop the file's entries;
+//! * **flush on reconfiguration** — partition and merge transitions
+//!   clear the whole cache conservatively (§5.6), so a resolution can
+//!   never be served from a divergent partition's view of a directory.
+//!
+//! Everything here is plain local state: fills and invalidations cost no
+//! messages and no virtual time, so enabling the cache changes message
+//! flows only where a validated entry short-circuits a protocol exchange
+//! — and replaying a seed remains byte-identical.
+
+use std::collections::HashMap;
+
+use locus_storage::CacheStats;
+use locus_types::{FileType, Gfid, Ino, VersionVector};
+
+use crate::directory::Directory;
+use crate::proto::InodeInfo;
+
+/// One cached directory: parsed contents plus the inode info they were
+/// read under.
+#[derive(Debug)]
+struct CachedDir {
+    /// Version vector the contents were read at.
+    vv: VersionVector,
+    /// The directory's own inode info (type/permission checks on a hit).
+    info: InodeInfo,
+    /// Parsed contents.
+    dir: Directory,
+    /// File types of previously looked-up children. Valid exactly as
+    /// long as the directory version is: a type can only change if the
+    /// inode is freed and reused, which removes the directory entry
+    /// first and therefore bumps the directory's version vector.
+    types: HashMap<Ino, FileType>,
+}
+
+/// One cached attribute entry.
+#[derive(Debug)]
+struct CachedAttr {
+    /// Inode information as of the version in `info.vv`.
+    info: InodeInfo,
+    /// Version under which remotely fetched *pages* of this file were
+    /// cached — the page-valid check of §3.2 fn 1 (formerly the ad-hoc
+    /// `cache_vv` map). Tracked separately from `info.vv`: attribute
+    /// refreshes must never make stale buffered pages look current.
+    pages_vv: Option<VersionVector>,
+}
+
+/// The per-site name and attribute cache.
+#[derive(Debug, Default)]
+pub struct NameAttrCache {
+    dirs: HashMap<Gfid, CachedDir>,
+    attrs: HashMap<Gfid, CachedAttr>,
+    dentry_hits: u64,
+    dentry_misses: u64,
+    attr_hits: u64,
+    attr_misses: u64,
+    invalidations: u64,
+}
+
+impl NameAttrCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        NameAttrCache::default()
+    }
+
+    /// The page-valid check at open time (§3.2 fn 1): whether remotely
+    /// cached pages were fetched under exactly the version now being
+    /// opened. Always re-tags the entry with the opened version and
+    /// refreshes the attribute copy — the open reply is authoritative.
+    pub fn pages_fresh(&mut self, gfid: Gfid, info: &InodeInfo) -> bool {
+        let e = self.attrs.entry(gfid).or_insert_with(|| CachedAttr {
+            info: info.clone(),
+            pages_vv: None,
+        });
+        let fresh = e.pages_vv.as_ref() == Some(&info.vv);
+        if fresh {
+            self.attr_hits += 1;
+        } else {
+            self.attr_misses += 1;
+        }
+        e.pages_vv = Some(info.vv.clone());
+        e.info = info.clone();
+        fresh
+    }
+
+    /// Serves the cached attributes if they cover `latest` (the version
+    /// the CSS vouched for).
+    pub fn attr_fresh(&mut self, gfid: Gfid, latest: &VersionVector) -> Option<InodeInfo> {
+        match self.attrs.get(&gfid) {
+            Some(e) if e.info.vv.covers(latest) => {
+                self.attr_hits += 1;
+                Some(e.info.clone())
+            }
+            _ => {
+                self.attr_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Upserts attributes learned from a stat or a directory read,
+    /// leaving the page-valid tag alone.
+    pub fn insert_attr(&mut self, gfid: Gfid, info: InodeInfo) {
+        match self.attrs.get_mut(&gfid) {
+            Some(e) => e.info = info,
+            None => {
+                self.attrs.insert(
+                    gfid,
+                    CachedAttr {
+                        info,
+                        pages_vv: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Serves the cached directory contents and inode info if they cover
+    /// `latest`. A stale entry is dropped on the spot (counted as an
+    /// invalidation) so a subsequent fill starts clean.
+    pub fn dir_fresh(&mut self, gfid: Gfid, latest: &VersionVector) -> Option<(Directory, InodeInfo)> {
+        match self.dirs.get(&gfid) {
+            Some(e) if e.vv.covers(latest) => {
+                self.dentry_hits += 1;
+                Some((e.dir.clone(), e.info.clone()))
+            }
+            Some(_) => {
+                self.dentry_misses += 1;
+                self.dirs.remove(&gfid);
+                self.invalidations += 1;
+                None
+            }
+            None => {
+                self.dentry_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches a directory's parsed contents under the version they were
+    /// read at.
+    pub fn insert_dir(&mut self, gfid: Gfid, info: InodeInfo, dir: Directory) {
+        self.dirs.insert(
+            gfid,
+            CachedDir {
+                vv: info.vv.clone(),
+                info,
+                dir,
+                types: HashMap::new(),
+            },
+        );
+    }
+
+    /// The remembered file type of a child of `dir`, valid while the
+    /// directory entry is (type changes require an ino free + reuse,
+    /// which edits the directory and bumps its version vector).
+    pub fn child_type(&self, dir: Gfid, child: Ino) -> Option<FileType> {
+        self.dirs
+            .get(&dir)
+            .and_then(|e| e.types.get(&child).copied())
+    }
+
+    /// Records a child's file type against the current directory entry
+    /// (a no-op when the directory is not cached).
+    pub fn remember_child_type(&mut self, dir: Gfid, child: Ino, ftype: FileType) {
+        if let Some(e) = self.dirs.get_mut(&dir) {
+            e.types.insert(child, ftype);
+        }
+    }
+
+    /// Drops every entry for `gfid`: local commit, inbound notification,
+    /// propagation, and explicit invalidation all land here.
+    pub fn invalidate(&mut self, gfid: Gfid) {
+        self.invalidations += u64::from(self.dirs.remove(&gfid).is_some());
+        self.invalidations += u64::from(self.attrs.remove(&gfid).is_some());
+    }
+
+    /// Conservative whole-cache flush at a partition or merge transition
+    /// (§5.6): everything cached was validated against the old
+    /// partition's CSS and is no longer trustworthy.
+    pub fn flush(&mut self) {
+        self.invalidations += (self.dirs.len() + self.attrs.len()) as u64;
+        self.dirs.clear();
+        self.attrs.clear();
+    }
+
+    /// Number of cached entries, directories plus attributes (tests
+    /// assert flushes).
+    pub fn entries(&self) -> usize {
+        self.dirs.len() + self.attrs.len()
+    }
+
+    /// Folds the counters into a merged [`CacheStats`].
+    pub fn merge_stats(&self, s: &mut CacheStats) {
+        s.dentry_hits += self.dentry_hits;
+        s.dentry_misses += self.dentry_misses;
+        s.attr_hits += self.attr_hits;
+        s.attr_misses += self.attr_misses;
+        s.name_invalidations += self.invalidations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::{FilegroupId, Perms, Ticks};
+
+    fn gfid(ino: u32) -> Gfid {
+        Gfid::new(FilegroupId(0), Ino(ino))
+    }
+
+    fn info(vv: VersionVector) -> InodeInfo {
+        InodeInfo {
+            ftype: FileType::Directory,
+            perms: Perms::DIR_DEFAULT,
+            owner: 0,
+            size: 0,
+            nlink: 2,
+            vv,
+            mtime: Ticks::ZERO,
+            deleted: false,
+            conflict: false,
+            replicas: vec![0],
+        }
+    }
+
+    fn vv(n: u64) -> VersionVector {
+        let mut v = VersionVector::new();
+        for _ in 0..n {
+            v.bump(0);
+        }
+        v
+    }
+
+    #[test]
+    fn dir_entry_serves_until_version_moves() {
+        let mut c = NameAttrCache::new();
+        let d = gfid(1);
+        c.insert_dir(d, info(vv(1)), Directory::new());
+        assert!(c.dir_fresh(d, &vv(1)).is_some(), "current entry served");
+        assert!(c.dir_fresh(d, &vv(2)).is_none(), "newer CSS version rejected");
+        assert!(
+            c.dir_fresh(d, &vv(1)).is_none(),
+            "stale entry was dropped, not resurrected"
+        );
+        let mut s = CacheStats::default();
+        c.merge_stats(&mut s);
+        assert_eq!(s.dentry_hits, 1);
+        assert_eq!(s.dentry_misses, 2);
+        assert_eq!(s.name_invalidations, 1);
+    }
+
+    #[test]
+    fn child_types_die_with_the_directory_entry() {
+        let mut c = NameAttrCache::new();
+        let d = gfid(1);
+        c.insert_dir(d, info(vv(1)), Directory::new());
+        c.remember_child_type(d, Ino(9), FileType::HiddenDirectory);
+        assert_eq!(c.child_type(d, Ino(9)), Some(FileType::HiddenDirectory));
+        assert!(c.dir_fresh(d, &vv(2)).is_none()); // drops the stale entry
+        assert_eq!(c.child_type(d, Ino(9)), None);
+    }
+
+    #[test]
+    fn attr_refresh_never_revives_the_page_tag() {
+        let mut c = NameAttrCache::new();
+        let f = gfid(2);
+        assert!(!c.pages_fresh(f, &info(vv(1))), "first open tags the pages");
+        assert!(c.pages_fresh(f, &info(vv(1))), "same version is fresh");
+        // An attribute refresh at a newer version must not make the old
+        // pages look current for that version.
+        c.insert_attr(f, info(vv(2)));
+        assert!(
+            !c.pages_fresh(f, &info(vv(2))),
+            "pages were fetched under v1; v2 open must invalidate"
+        );
+    }
+
+    #[test]
+    fn invalidate_and_flush_count_dropped_entries() {
+        let mut c = NameAttrCache::new();
+        c.insert_dir(gfid(1), info(vv(1)), Directory::new());
+        c.insert_attr(gfid(1), info(vv(1)));
+        c.insert_attr(gfid(2), info(vv(1)));
+        assert_eq!(c.entries(), 3);
+        c.invalidate(gfid(1));
+        assert_eq!(c.entries(), 1);
+        c.flush();
+        assert_eq!(c.entries(), 0);
+        let mut s = CacheStats::default();
+        c.merge_stats(&mut s);
+        assert_eq!(s.name_invalidations, 3);
+    }
+}

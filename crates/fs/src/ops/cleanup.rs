@@ -52,6 +52,10 @@ pub fn cleanup_site(fsc: &FsCluster, site: SiteId, alive: &BTreeSet<SiteId>) -> 
         return report;
     }
 
+    // Every name-cache entry was validated against the old partition's
+    // CSS; flush conservatively before touching anything else (§5.6).
+    fsc.with_kernel(site, |k| k.name_cache.flush());
+
     // ---- SS and CSS roles: local resources in use remotely ----------
     let mut sessions_to_abort: Vec<(SiteId, Gfid)> = Vec::new();
     {

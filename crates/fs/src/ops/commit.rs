@@ -47,6 +47,7 @@ fn commit_at_inner(
     }
     k.cache
         .invalidate_file(io::net_cache_pack(gfid.fg), gfid.ino);
+    k.name_cache.invalidate(gfid);
     Ok(info)
 }
 
@@ -130,6 +131,7 @@ pub(crate) fn handle_commit(
         let info = InodeInfo::from(pack.inode(gfid.ino).expect("just committed"));
         let io_cost = pack.take_io_cost();
         k.cache.invalidate_file(pack_id, gfid.ino);
+        k.name_cache.invalidate(gfid);
         k.note_latest(gfid, &info.vv);
         let readers: Vec<SiteId> = k
             .incore_get(gfid)
@@ -260,6 +262,7 @@ pub(crate) fn handle_commit_notify(
     {
         let pid = k.pack_of(gfid.fg).expect("container checked above").id();
         k.cache.invalidate_file(pid, gfid.ino);
+        k.name_cache.invalidate(gfid);
     }
     if enqueue {
         k.enqueue_propagation(PropReq {
@@ -323,6 +326,7 @@ pub(crate) fn propagate_pull(fsc: &FsCluster, site: SiteId, req: &PropReq) -> Sy
         } else {
             pack.install_inode(gfid.ino, info.to_disk_inode(false));
         }
+        k.name_cache.invalidate(gfid);
         return Ok(());
     }
 
@@ -346,7 +350,10 @@ pub(crate) fn propagate_pull(fsc: &FsCluster, site: SiteId, req: &PropReq) -> Sy
             sess.set_mtime(info.mtime);
             sess.commit(pack, info.vv.clone())?;
             drop(k);
-            fsc.with_kernel(site, |k| k.note_latest(gfid, &info.vv));
+            fsc.with_kernel(site, |k| {
+                k.name_cache.invalidate(gfid);
+                k.note_latest(gfid, &info.vv);
+            });
             return Ok(());
         }
         ShadowSession::begin(pack, gfid.ino)?
@@ -442,6 +449,7 @@ pub(crate) fn propagate_pull(fsc: &FsCluster, site: SiteId, req: &PropReq) -> Sy
     k.cache.invalidate_file(pid, gfid.ino);
     k.cache
         .invalidate_file(io::net_cache_pack(gfid.fg), gfid.ino);
+    k.name_cache.invalidate(gfid);
     k.note_latest(gfid, &info.vv);
     Ok(())
 }

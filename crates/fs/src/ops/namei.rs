@@ -13,9 +13,17 @@
 //! (the `/bin/who` → `vax`/`45` mechanism of §2.4.1). Appending `@` to a
 //! component escapes the indirection and names the hidden directory
 //! itself.
+//!
+//! When the using-site name cache is enabled
+//! ([`FsCluster::set_name_cache`]), directory interrogation first asks the
+//! CSS for the most current version it knows ([`FsMsg::VvCheck`], one
+//! round trip) and serves the parsed contents from
+//! [`crate::namecache::NameAttrCache`] on a version match, skipping the
+//! open → read → close exchange entirely. Local directories with no
+//! pending propagations keep the paper's zero-message bypass instead.
 
 use locus_storage::PAGE_SIZE;
-use locus_types::{Errno, FileType, Gfid, Ino, OpenMode, Perms, SiteId, SysResult};
+use locus_types::{Errno, FileType, Gfid, Ino, OpenMode, Perms, SiteId, SysResult, VersionVector};
 
 use crate::cluster::FsCluster;
 use crate::cost;
@@ -156,17 +164,14 @@ pub fn readdir(
     path: &str,
 ) -> SysResult<Vec<(String, Ino)>> {
     let gfid = resolve(fsc, us, ctx, path)?;
-    let t = open_gfid(fsc, us, gfid, OpenMode::InternalUnsyncRead)?;
-    let r = (|| {
-        if !t.info.ftype.is_directory_like() {
-            return Err(Errno::Enotdir);
+    let (d, _) = dir_for_search(fsc, us, gfid, |info| {
+        if info.ftype.is_directory_like() {
+            Ok(())
+        } else {
+            Err(Errno::Enotdir)
         }
-        let bytes = read_all_via(fsc, us, &t)?;
-        let d = Directory::parse(&bytes)?;
-        Ok(d.live().map(|e| (e.name.clone(), e.ino)).collect())
-    })();
-    close_ticket(fsc, us, &t)?;
-    r
+    })?;
+    Ok(d.live().map(|e| (e.name.clone(), e.ino)).collect())
 }
 
 /// Stats a file by path.
@@ -175,12 +180,129 @@ pub fn stat(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> SysResu
     stat_gfid(fsc, us, gfid)
 }
 
-/// Stats a file by global identifier.
+/// Stats a file by global identifier, served from the attribute cache
+/// when a CSS version probe vouches for the cached copy.
 pub fn stat_gfid(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> SysResult<InodeInfo> {
+    let caching = fsc.name_cache_enabled() && !local_bypass(fsc, us, gfid);
+    if caching {
+        if let Ok(latest) = css_known_latest(fsc, us, gfid) {
+            let hit = fsc.with_kernel(us, |k| k.name_cache.attr_fresh(gfid, &latest));
+            if let Some(info) = hit {
+                note_cache(fsc, us, "namecache.hit", gfid, info.vv.total());
+                return Ok(info);
+            }
+            note_cache(fsc, us, "namecache.miss", gfid, latest.total());
+        }
+    }
     let t = open_gfid(fsc, us, gfid, OpenMode::InternalUnsyncRead)?;
     let info = t.info.clone();
     close_ticket(fsc, us, &t)?;
+    if caching {
+        fsc.with_kernel(us, |k| k.name_cache.insert_attr(gfid, info.clone()));
+    }
     Ok(info)
+}
+
+/// Whether `gfid` is searched by the paper's zero-message local bypass
+/// (the §2.3.4 fast path in [`open_gfid`]) — if so the name cache has
+/// nothing to win and stays out of the way.
+fn local_bypass(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> bool {
+    let k = fsc.kernel(us);
+    !k.prop_queue.iter().any(|r| r.gfid == gfid) && k.stores_data(gfid)
+}
+
+/// Asks the CSS for the most current version of `gfid` it knows
+/// (§2.3.1) — the cache revalidation probe. A procedure call when this
+/// site is the CSS, one [`FsMsg::VvCheck`] round trip otherwise.
+fn css_known_latest(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> SysResult<VersionVector> {
+    let css = fsc.kernel(us).mount.css_of(gfid.fg)?;
+    let reply = if css == us {
+        handle_vv_check(fsc, css, gfid)?
+    } else {
+        fsc.rpc(us, css, FsMsg::VvCheck { gfid })?
+    };
+    match reply {
+        FsReply::VvKnown { vv } => Ok(vv),
+        _ => Err(Errno::Eio),
+    }
+}
+
+/// CSS-side handler for the revalidation probe: reports the most current
+/// version this CSS knows of, from its own copy and the commit
+/// notifications it has seen.
+pub(crate) fn handle_vv_check(fsc: &FsCluster, css: SiteId, gfid: Gfid) -> SysResult<FsReply> {
+    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    let k = fsc.kernel(css);
+    if k.local_info(gfid).is_none() {
+        return Err(Errno::Enoent);
+    }
+    Ok(FsReply::VvKnown {
+        vv: k.known_latest(gfid),
+    })
+}
+
+/// Drops a cache hit/miss breadcrumb under the enclosing resolve span.
+fn note_cache(fsc: &FsCluster, us: SiteId, key: &str, gfid: Gfid, value: u64) {
+    if fsc.net().observing() {
+        fsc.net().obs_note(us, key, &gfid.to_string(), value);
+    }
+}
+
+/// Produces a directory's parsed contents and inode info for searching,
+/// from the name cache when a CSS probe validates the entry, through the
+/// internal open → read → close protocol otherwise. `check` sees the
+/// inode info between open and read, exactly where the uncached protocol
+/// applies its type and permission checks.
+fn dir_for_search(
+    fsc: &FsCluster,
+    us: SiteId,
+    gfid: Gfid,
+    check: impl Fn(&InodeInfo) -> SysResult<()>,
+) -> SysResult<(Directory, InodeInfo)> {
+    let caching = fsc.name_cache_enabled() && !local_bypass(fsc, us, gfid);
+    if caching {
+        if let Ok(latest) = css_known_latest(fsc, us, gfid) {
+            let hit = fsc.with_kernel(us, |k| k.name_cache.dir_fresh(gfid, &latest));
+            if let Some((dir, info)) = hit {
+                note_cache(fsc, us, "namecache.hit", gfid, info.vv.total());
+                check(&info)?;
+                return Ok((dir, info));
+            }
+            note_cache(fsc, us, "namecache.miss", gfid, latest.total());
+        }
+    }
+    let t = open_gfid(fsc, us, gfid, OpenMode::InternalUnsyncRead)?;
+    if let Err(e) = check(&t.info) {
+        close_ticket(fsc, us, &t)?;
+        return Err(e);
+    }
+    let bytes = read_all_via(fsc, us, &t);
+    close_ticket(fsc, us, &t)?;
+    let dir = Directory::parse(&bytes?)?;
+    if caching {
+        fsc.with_kernel(us, |k| {
+            k.name_cache.insert_attr(gfid, t.info.clone());
+            k.name_cache.insert_dir(gfid, t.info.clone(), dir.clone());
+        });
+    }
+    Ok((dir, t.info))
+}
+
+/// The file type of `child`, looked up in `dir`: remembered alongside the
+/// cached directory when possible (a type change requires freeing the
+/// inode, which removes the entry and bumps the directory version first),
+/// a full [`stat_gfid`] otherwise.
+fn child_type(fsc: &FsCluster, us: SiteId, dir: Gfid, child: Gfid) -> SysResult<FileType> {
+    if fsc.name_cache_enabled() {
+        if let Some(t) = fsc.kernel(us).name_cache.child_type(dir, child.ino) {
+            return Ok(t);
+        }
+    }
+    let info = stat_gfid(fsc, us, child)?;
+    fsc.with_kernel(us, |k| {
+        k.name_cache.remember_child_type(dir, child.ino, info.ftype);
+    });
+    Ok(info.ftype)
 }
 
 /// Splits a path into its parent directory path and final component.
@@ -197,6 +319,10 @@ fn split_parent(path: &str) -> SysResult<(&str, &str)> {
 
 /// Resolves a pathname to a global file identifier (§2.3.4).
 pub fn resolve(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> SysResult<Gfid> {
+    fsc.with_span("resolve", us, || resolve_inner(fsc, us, ctx, path))
+}
+
+fn resolve_inner(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> SysResult<Gfid> {
     let mut cur = if path.starts_with('/') {
         fsc.kernel(us).mount.root()?
     } else {
@@ -215,10 +341,7 @@ pub fn resolve(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> SysR
                     // A relative walk starting at the cwd has no trail:
                     // use the directory's own `..` entry (installed at
                     // mkdir; the root points at itself).
-                    let t = open_gfid(fsc, us, cur, OpenMode::InternalUnsyncRead)?;
-                    let bytes = read_all_via(fsc, us, &t);
-                    close_ticket(fsc, us, &t)?;
-                    let dir = Directory::parse(&bytes?)?;
+                    let (dir, _) = dir_for_search(fsc, us, cur, |_| Ok(()))?;
                     let parent_ino = dir.lookup("..").ok_or(Errno::Enoent)?;
                     Gfid::new(cur.fg, parent_ino)
                 }
@@ -231,28 +354,23 @@ pub fn resolve(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> SysR
         };
         fsc.net().charge_cpu(cost::DIR_SCAN_CPU);
 
-        // Open the directory internally and search it.
-        let t = open_gfid(fsc, us, cur, OpenMode::InternalUnsyncRead)?;
-        if !t.info.ftype.is_directory_like() {
-            close_ticket(fsc, us, &t)?;
-            return Err(Errno::Enotdir);
-        }
-        if !t.info.perms.owner_exec() {
-            close_ticket(fsc, us, &t)?;
-            return Err(Errno::Eacces);
-        }
-        let bytes = read_all_via(fsc, us, &t);
-        close_ticket(fsc, us, &t)?;
-        let dir = Directory::parse(&bytes?)?;
+        // Open the directory internally (or serve it from the name
+        // cache) and search it.
+        let (dir, _) = dir_for_search(fsc, us, cur, |info| {
+            if !info.ftype.is_directory_like() {
+                return Err(Errno::Enotdir);
+            }
+            if !info.perms.owner_exec() {
+                return Err(Errno::Eacces);
+            }
+            Ok(())
+        })?;
         let ino = dir.lookup(name).ok_or(Errno::Enoent)?;
         let mut next = Gfid::new(cur.fg, ino);
 
         // Hidden-directory indirection (§2.4.1).
-        if !escape {
-            let info = stat_gfid(fsc, us, next)?;
-            if info.ftype == FileType::HiddenDirectory {
-                next = resolve_hidden(fsc, us, ctx, next)?;
-            }
+        if !escape && child_type(fsc, us, cur, next)? == FileType::HiddenDirectory {
+            next = resolve_hidden(fsc, us, ctx, next)?;
         }
         trail.push(cur);
         cur = fsc.kernel(us).mount.cross_mount_point(next);
@@ -264,8 +382,7 @@ pub fn resolve(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> SysR
 /// hidden directory is found during pathname searching, it is examined for
 /// a match with the process's context" (§2.4.1).
 fn resolve_hidden(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, hidden: Gfid) -> SysResult<Gfid> {
-    let bytes = read_file_internal(fsc, us, hidden)?;
-    let dir = Directory::parse(&bytes)?;
+    let (dir, _) = dir_for_search(fsc, us, hidden, |_| Ok(()))?;
     for name in &ctx.contexts {
         if let Some(ino) = dir.lookup(name) {
             return Ok(Gfid::new(hidden.fg, ino));

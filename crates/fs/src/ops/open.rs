@@ -104,14 +104,10 @@ fn open_gfid_inner(
     // (the page-valid check): pages fetched under an older version are
     // dropped before this open reads anything.
     if ss != us {
-        let fresh = match k.cache_vv.get(&gfid) {
-            Some(v) => *v == info.vv,
-            None => false,
-        };
+        let fresh = k.name_cache.pages_fresh(gfid, &info);
         if !fresh {
             k.cache
                 .invalidate_file(crate::ops::io::net_cache_pack(gfid.fg), gfid.ino);
-            k.cache_vv.insert(gfid, info.vv.clone());
         }
     }
     let inc = k.incore_mut(gfid, info.clone());

@@ -301,6 +301,15 @@ pub enum FsMsg {
         /// Target file.
         gfid: Gfid,
     },
+    /// US → CSS: name/attribute-cache revalidation probe — "is my cached
+    /// version still current?" The CSS answers with the most current
+    /// version vector it knows (§2.3.1); one cheap control exchange
+    /// replaces the open → read-pages → close protocol when the cached
+    /// entry covers it. Purely a query, hence idempotent.
+    VvCheck {
+        /// Target file.
+        gfid: Gfid,
+    },
 }
 
 /// Inode-only modifications folded into a commit ("it was just inode
@@ -386,6 +395,12 @@ pub enum FsReply {
         /// The new file's inode information.
         info: InodeInfo,
     },
+    /// Reply to [`FsMsg::VvCheck`]: the most current version vector the
+    /// CSS knows for the file.
+    VvKnown {
+        /// Latest known version vector.
+        vv: VersionVector,
+    },
     /// Generic success.
     Ok,
 }
@@ -414,6 +429,7 @@ impl FsMsg {
             FsMsg::DeviceOp { .. } => "DEVICE op",
             FsMsg::CreateAt { .. } => "CREATE req",
             FsMsg::Invalidate { .. } => "INVALIDATE",
+            FsMsg::VvCheck { .. } => "VV check",
         }
     }
 
@@ -439,6 +455,7 @@ impl FsMsg {
             FsMsg::DeviceOp { .. } => "DEVICE resp",
             FsMsg::CreateAt { .. } => "CREATE resp",
             FsMsg::Invalidate { .. } => "INVALIDATE ack",
+            FsMsg::VvCheck { .. } => "VV resp",
         }
     }
 
@@ -470,6 +487,7 @@ impl FsMsg {
                 | FsMsg::PullOpen { .. }
                 | FsMsg::AbortChanges { .. }
                 | FsMsg::Invalidate { .. }
+                | FsMsg::VvCheck { .. }
         )
     }
 }

@@ -163,6 +163,9 @@ fn run_schedule_with(seed: u64, policy: IoPolicy, pad: usize) -> Result<Schedule
             multiplier: 2,
         })
         .io_policy(policy)
+        // The name cache must survive the full fault model without ever
+        // serving a stale resolution or breaking replay determinism.
+        .name_cache(true)
         .build();
     let net = fsc.net();
     net.set_tracing(true);

@@ -38,6 +38,8 @@ fn cluster() -> (FsCluster, ProcMgr) {
     let fsc = FsClusterBuilder::new()
         .vax_sites(N_SITES as usize)
         .filegroup("root", &[0, 1])
+        // Exec path resolution under chaos runs through the name cache.
+        .name_cache(true)
         .build();
     // A generous budget: the chaos plans push 30 % loss, and the proc
     // protocol's availability claim is about riding out loss, not about

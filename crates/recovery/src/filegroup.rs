@@ -537,9 +537,13 @@ pub fn reconcile_filegroup_with(
     }
 
     // Notified-version tables may carry pre-partition hearsay; recovery
-    // rebuilds knowledge from the actual copies.
+    // rebuilds knowledge from the actual copies. Cached names and
+    // attributes were validated against those tables, so they go too.
     for &site in &sites {
-        fsc.with_kernel(site, |k| k.clear_latest());
+        fsc.with_kernel(site, |k| {
+            k.clear_latest();
+            k.name_cache.flush();
+        });
     }
 
     let is_dir = |fsc: &FsCluster, gfid: Gfid| -> bool {

@@ -15,6 +15,11 @@ use locus_types::{Ino, PackId};
 pub type PageKey = (PackId, Ino, usize);
 
 /// Cumulative cache counters.
+///
+/// The page fields account the buffer cache; the `dentry_*`/`attr_*`/
+/// `name_invalidations` fields account the filesystem layer's name and
+/// attribute cache, which reports through the same structure so one
+/// merge covers every cache a site runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups satisfied from the cache.
@@ -23,10 +28,20 @@ pub struct CacheStats {
     pub misses: u64,
     /// Pages dropped by explicit invalidation (not LRU eviction).
     pub invalidations: u64,
+    /// Directory-contents lookups served from the name cache.
+    pub dentry_hits: u64,
+    /// Directory-contents lookups that re-read the directory.
+    pub dentry_misses: u64,
+    /// Attribute lookups served from the name cache.
+    pub attr_hits: u64,
+    /// Attribute lookups that re-fetched the inode information.
+    pub attr_misses: u64,
+    /// Name/attribute entries dropped by invalidation or flush.
+    pub name_invalidations: u64,
 }
 
 impl CacheStats {
-    /// Hits over total lookups; 0.0 when nothing was looked up.
+    /// Page hits over total page lookups; 0.0 when nothing was looked up.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -36,11 +51,37 @@ impl CacheStats {
         }
     }
 
+    /// Dentry hits over total dentry lookups; 0.0 when none happened.
+    pub fn dentry_hit_ratio(&self) -> f64 {
+        let total = self.dentry_hits + self.dentry_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dentry_hits as f64 / total as f64
+        }
+    }
+
+    /// Attribute hits over total attribute lookups; 0.0 when none
+    /// happened.
+    pub fn attr_hit_ratio(&self) -> f64 {
+        let total = self.attr_hits + self.attr_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.attr_hits as f64 / total as f64
+        }
+    }
+
     /// Component-wise sum (for aggregating per-site caches).
     pub fn merge(&mut self, other: &CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
         self.invalidations += other.invalidations;
+        self.dentry_hits += other.dentry_hits;
+        self.dentry_misses += other.dentry_misses;
+        self.attr_hits += other.attr_hits;
+        self.attr_misses += other.attr_misses;
+        self.name_invalidations += other.name_invalidations;
     }
 }
 
@@ -139,12 +180,14 @@ impl BufferCache {
         (self.hits, self.misses)
     }
 
-    /// Full counters, including invalidations.
+    /// Full counters, including invalidations. The name-cache fields are
+    /// zero here; the filesystem layer merges its own counters in.
     pub fn full_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             invalidations: self.invalidations,
+            ..CacheStats::default()
         }
     }
 

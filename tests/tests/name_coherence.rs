@@ -1,0 +1,93 @@
+//! Name-cache coherence across partition and merge (§4, §5): warm caches
+//! filled before a partition must never serve stale name resolutions
+//! after divergent renames are reconciled — the cache is flushed with the
+//! §5.6 cleanup and the recovery pass, so every post-merge resolution
+//! reflects the reconciled directory, at every site.
+
+use locus::{Cluster, Errno, Gfid, SiteId};
+
+fn s(i: u32) -> SiteId {
+    SiteId(i)
+}
+
+/// Four sites with the name cache on; root filegroup at 0 and 1, so
+/// sites 2 and 3 resolve remotely (the cache-heavy configuration) and
+/// each side of the `{0,3} | {1,2}` partition keeps one container.
+fn cluster() -> Cluster {
+    Cluster::builder()
+        .vax_sites(4)
+        .filegroup("root", &[0, 1])
+        .name_cache(true)
+        .build()
+}
+
+/// What `path` resolves to at a given pid's site, normalised for
+/// comparison across sites.
+fn view(c: &Cluster, pid: locus::Pid, path: &str) -> Result<Gfid, Errno> {
+    c.resolve(pid, path)
+}
+
+#[test]
+fn divergent_renames_never_resolve_stale_after_merge() {
+    let c = cluster();
+    let p0 = c.login(s(0), 1).unwrap();
+    let p1 = c.login(s(1), 2).unwrap();
+    c.mkdir(p0, "/d").unwrap();
+    c.write_file(p0, "/d/f", b"payload").unwrap();
+    c.settle();
+
+    // Warm every site's cache on the pre-partition name.
+    let pids: Vec<_> = (0..4).map(|i| c.login(s(i), 10 + i).unwrap()).collect();
+    let orig = view(&c, pids[0], "/d/f").unwrap();
+    for p in &pids {
+        assert_eq!(view(&c, *p, "/d/f").unwrap(), orig);
+    }
+
+    // Partition {0,3} | {1,2} and rename divergently on each side.
+    c.partition(&[vec![s(0), s(3)], vec![s(1), s(2)]]);
+    c.reconfigure().unwrap();
+    c.rename(p0, "/d/f", "/d/fa").unwrap();
+    c.rename(p1, "/d/f", "/d/fb").unwrap();
+    c.settle();
+
+    // Each side sees its own rename — including through the diskless
+    // members' caches, which were warmed on the old contents.
+    assert_eq!(view(&c, pids[3], "/d/fa").unwrap(), orig);
+    assert_eq!(view(&c, pids[3], "/d/f").unwrap_err(), Errno::Enoent);
+    assert_eq!(view(&c, pids[2], "/d/fb").unwrap(), orig);
+    assert_eq!(view(&c, pids[2], "/d/f").unwrap_err(), Errno::Enoent);
+
+    // Merge. The reconciliation applies the directory merge rules; the
+    // caches everywhere must be flushed with it.
+    c.heal();
+    let r = c.reconfigure().unwrap();
+    assert_eq!(r.partitions.len(), 1);
+
+    // Ground truth after reconciliation, read at a container site.
+    let entries = c.readdir(p0, "/d").unwrap();
+
+    // Every site agrees with the reconciled directory for every name the
+    // schedule ever used: a stale cached dentry at site 2 or 3 would
+    // either resurrect a dropped name or miss a reconciled one.
+    for name in ["f", "fa", "fb"] {
+        let path = format!("/d/{name}");
+        let truth = if entries.iter().any(|e| e == name) {
+            Ok(())
+        } else {
+            Err(Errno::Enoent)
+        };
+        for p in &pids {
+            match (view(&c, *p, &path), &truth) {
+                (Ok(g), Ok(())) => assert_eq!(g, orig, "{path}: wrong target"),
+                (Err(e), Err(want)) => assert_eq!(e, *want, "{path}: wrong error"),
+                (got, want) => panic!(
+                    "{path}: site view {got:?} disagrees with reconciled directory ({want:?})"
+                ),
+            }
+        }
+    }
+    // Both divergently-created names survived the merge (inferred-insert
+    // semantics: each side inserted a new name into the directory).
+    assert!(entries.iter().any(|e| e == "fa"), "merge dropped fa: {entries:?}");
+    assert!(entries.iter().any(|e| e == "fb"), "merge dropped fb: {entries:?}");
+}
