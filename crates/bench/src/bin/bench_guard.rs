@@ -10,6 +10,12 @@
 //! * keys ending in `_ratio` may not shrink more than 5%;
 //! * every baseline key must be present in the measured report.
 //!
+//! With `BENCH_STRICT=1` the tolerances collapse to exact equality:
+//! every numeric key must match its baseline bit-for-bit. That is the
+//! determinism gate — the benches run with the gray-failure health
+//! monitor enabled, so a strict pass also proves health tracking is
+//! free on the healthy path.
+//!
 //! Run with `cargo run -p locus-bench --bin bench_guard [-- names...]`
 //! (default: `e1 e3 e12`). Reads measured reports from `$BENCH_OUT_DIR`
 //! or `target/bench`, baselines from `$BENCH_BASELINE_DIR` or
@@ -50,7 +56,7 @@ fn load(path: &Path) -> Result<BTreeMap<String, Option<f64>>, String> {
     Ok(parsed)
 }
 
-fn check(name: &str, measured_dir: &Path, baseline_dir: &Path) -> Vec<String> {
+fn check(name: &str, measured_dir: &Path, baseline_dir: &Path, strict: bool) -> Vec<String> {
     let file = format!("BENCH_{name}.json");
     let baseline = match load(&baseline_dir.join(&file)) {
         Ok(b) => b,
@@ -69,7 +75,13 @@ fn check(name: &str, measured_dir: &Path, baseline_dir: &Path) -> Vec<String> {
         let (Some(base), Some(got)) = (base, got) else {
             continue; // non-numeric: presence was the whole check
         };
-        if key.ends_with("_msgs") || key.ends_with("_us") {
+        if strict {
+            if got != base {
+                problems.push(format!(
+                    "{name}: {key} diverged: {got} != baseline {base} (strict mode)"
+                ));
+            }
+        } else if key.ends_with("_msgs") || key.ends_with("_us") {
             if *got > base * 1.05 {
                 problems.push(format!(
                     "{name}: {key} regressed: {got} > baseline {base} (+5% allowed)"
@@ -100,12 +112,15 @@ fn main() -> ExitCode {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("crates/bench/baselines"));
 
+    let strict = std::env::var("BENCH_STRICT").as_deref() == Ok("1");
+
     let mut problems = Vec::new();
     for name in &names {
-        problems.extend(check(name, &measured_dir, &baseline_dir));
+        problems.extend(check(name, &measured_dir, &baseline_dir, strict));
     }
     if problems.is_empty() {
-        println!("bench_guard: {} report(s) within baseline", names.len());
+        let mode = if strict { "identical to" } else { "within" };
+        println!("bench_guard: {} report(s) {mode} baseline", names.len());
         ExitCode::SUCCESS
     } else {
         for p in &problems {

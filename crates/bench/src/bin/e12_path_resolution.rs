@@ -37,6 +37,10 @@ fn build(name_cache: bool) -> Cluster {
         .filegroup("root", &[0])
         .name_cache(name_cache)
         .build();
+    // Same standing proof as `standard_cluster`: the health monitor
+    // observes every message this bench counts, and bench_guard holds
+    // the counts to baseline — gray-failure tracking costs nothing.
+    cluster.net().enable_health(locus_net::HealthPolicy::default());
     let p = cluster.login(SiteId(0), 1).expect("login");
     cluster.mkdir(p, "/a").expect("mkdir /a");
     cluster.mkdir(p, "/a/b").expect("mkdir /a/b");

@@ -23,8 +23,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use locus::{Cluster, SiteId, Ticks};
 use locus_net::{
-    audit, export_jsonl, parse_jsonl, FaultPlan, FaultSpec, Net, ObsEvent, RetryPolicy,
-    SendOutcome, SimRng, MAX_CONSECUTIVE_REOPENS,
+    audit, export_jsonl, parse_jsonl, FaultPlan, FaultSpec, HealthPolicy, Net, ObsEvent,
+    RetryPolicy, SendOutcome, SimRng, MAX_CONSECUTIVE_REOPENS,
 };
 use locus_topology::{merge_protocol, partition_protocol, MergeTimeouts};
 use locus_types::Errno;
@@ -51,7 +51,7 @@ fn generous_retries(cluster: &Cluster) {
     cluster.fs().set_retry_policy(RetryPolicy {
         max_attempts: 12,
         base_backoff: Ticks::millis(1),
-        multiplier: 2,
+        ..RetryPolicy::default()
     });
 }
 
@@ -173,6 +173,72 @@ fn topology_trace(seed: u64) -> Vec<ObsEvent> {
     net.take_obs_events()
 }
 
+/// Gray-failure workload: a one-directional slow link degrades the CSS
+/// mid-workload; the health monitor quarantines it, the synchronization
+/// role hands off under a fresh epoch, and probation readmits the site
+/// once the fault lifts. Exercises the CSS-epoch monotonicity and
+/// quarantine-isolation invariants with *real* protocol traffic.
+fn gray_trace(seed: u64) -> Vec<ObsEvent> {
+    let cluster = Cluster::builder()
+        .vax_sites(4)
+        .filegroup("root", &[0, 1])
+        .build();
+    generous_retries(&cluster);
+    cluster.net().set_observing(true);
+    cluster.net().enable_health(HealthPolicy {
+        suspect_score: 6,
+        quarantine_score: 12,
+        slow_penalty: 4,
+        drift_min_samples: 6,
+        ..HealthPolicy::default()
+    });
+    let writer = cluster.login(SiteId(3), 1).expect("login writer");
+    cluster
+        .write_file(writer, "/gray", &vec![1u8; 1024])
+        .expect("pristine seed write");
+    cluster.settle();
+
+    // Replies out of the CSS crawl; requests into it arrive fine.
+    let mut plan = FaultPlan::new(seed);
+    for t in 1..4u32 {
+        plan = plan.slow_link(SiteId(0), SiteId(t), 12, Ticks::millis(3));
+    }
+    cluster.net().install_faults(plan);
+
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x006A_11E7);
+    for _ in 0..80u32 {
+        if cluster.net().quarantined(SiteId(0)) {
+            break;
+        }
+        let body = vec![rng.gen_range(0u64..256) as u8; 1024];
+        let _ = cluster.write_file(writer, "/gray", &body);
+        let _ = cluster.read_file(writer, "/gray");
+    }
+    assert!(
+        cluster.net().quarantined(SiteId(0)),
+        "seed {seed}: the gray CSS must be quarantined within the budget"
+    );
+    let fg = locus_types::FilegroupId(0);
+    let report = locus_fs::css_handoff(cluster.fs(), fg, SiteId(1))
+        .unwrap_or_else(|e| panic!("seed {seed}: handoff failed: {e:?}"));
+    assert!(report.state_transferred, "seed {seed}: live state must move");
+    cluster
+        .write_file(writer, "/gray", &vec![7u8; 2048])
+        .unwrap_or_else(|e| panic!("seed {seed}: post-handoff write failed: {e:?}"));
+
+    cluster.net().clear_faults();
+    let readmitted = locus_fs::probation_probe(cluster.fs(), SiteId(3), SiteId(0), fg, 32)
+        .unwrap_or_else(|e| panic!("seed {seed}: probation probe failed: {e:?}"));
+    assert!(readmitted, "seed {seed}: clean network must readmit");
+    cluster.settle();
+    assert_eq!(
+        cluster.net().obs_truncated(),
+        0,
+        "seed {seed}: gray trace truncated"
+    );
+    cluster.net().take_obs_events()
+}
+
 /// Audits one trace: JSONL round trip plus a clean violation report.
 fn require_clean(family: &str, seed: u64, events: &[ObsEvent]) {
     let jsonl = export_jsonl(events);
@@ -215,6 +281,7 @@ fn main() {
         require_clean("fs", seed, &fs_trace(seed));
         require_clean("proc", seed, &proc_trace(seed));
         require_clean("topology", seed, &topology_trace(seed));
+        require_clean("gray", seed, &gray_trace(seed));
     }
 
     // Self-test: corrupt a well-formed stream in three distinct ways and
@@ -292,6 +359,32 @@ fn main() {
         },
     ];
     require_rejected("commit-read-interleave", &interleave, "commit");
+
+    // 4. A CSS epoch that rolls backwards: two sites claiming the same
+    // epoch for one filegroup after a handoff race.
+    let note = |at: u64, site: u32, key: &str, label: &str, value: u64| ObsEvent::Note {
+        span: 0,
+        at: Ticks::micros(at),
+        site: SiteId(site),
+        key: key.to_owned(),
+        label: label.to_owned(),
+        value,
+    };
+    let epoch_regress = vec![
+        note(10, 1, "css.claim", "fg0", 3),
+        note(20, 2, "css.claim", "fg0", 3),
+    ];
+    require_rejected("css-epoch-regression", &epoch_regress, "one CSS per epoch");
+
+    // 5. A commit installed at a site inside its quarantine window — the
+    // isolation the health monitor promises would be a lie.
+    let quarantined_commit = vec![
+        note(10, 2, "health.quarantine", "S2", 1),
+        note(20, 2, "commit.begin", "fg0/7", 4),
+        note(21, 2, "commit.end", "fg0/7", 4),
+        note(30, 2, "health.readmit", "S2", 0),
+    ];
+    require_rejected("quarantined-commit", &quarantined_commit, "quarantined");
 
     println!("\ntrace_audit: all clean traces audited, all corruptions rejected");
 }

@@ -8,7 +8,7 @@ use locus_fs::ops::cleanup::{cleanup_site, rebuild_css_state, CleanupReport};
 use locus_recovery::{reconcile_filegroup, RecoveryReport};
 use locus_topology::merge::merge_protocol;
 use locus_topology::partition::partition_all;
-use locus_topology::select_css;
+use locus_topology::select_css_excluding;
 use locus_types::{FilegroupId, SiteId, SysResult};
 
 use crate::cluster::Cluster;
@@ -102,11 +102,31 @@ impl Cluster {
                     .map(|m| (m.fg, m.containers.iter().map(|(_, s)| *s).collect()))
                     .collect()
             };
+            // Sites the health monitor has quarantined for gray failure
+            // must not take the synchronization role unless no healthy
+            // container exists in the partition.
+            let quarantined: BTreeSet<SiteId> = partition
+                .iter()
+                .copied()
+                .filter(|&s| net.quarantined(s))
+                .collect();
             for (fg, containers) in &fgs {
-                if let Some(css) = select_css(partition, containers) {
+                if let Some(css) = select_css_excluding(partition, containers, &quarantined) {
+                    // Bump past every member's recorded epoch so the new
+                    // assignment supersedes any live handoff that raced
+                    // the reconfiguration.
+                    let epoch = partition
+                        .iter()
+                        .filter_map(|&s| {
+                            self.fsc.kernel(s).mount.get(*fg).ok().map(|m| m.css_epoch)
+                        })
+                        .max()
+                        .unwrap_or(0)
+                        + 1;
                     for &site in partition {
                         if let Ok(m) = self.fsc.kernel(site).mount.get_mut(*fg) {
                             m.css = css;
+                            m.css_epoch = epoch;
                         }
                     }
                     report.css_assignments.push((*fg, css));

@@ -239,6 +239,7 @@ impl FsClusterBuilder {
                 mounted_on: mount_points[fgi],
                 containers,
                 css,
+                css_epoch: 0,
             });
         }
 

@@ -343,7 +343,7 @@ impl FsCluster {
 
     /// Central message dispatch: the serving site's kernel runs the
     /// requested operation (Figure 1's "system call continuation").
-    fn dispatch(&self, at: SiteId, _from: SiteId, msg: FsMsg) -> SysResult<FsReply> {
+    fn dispatch(&self, at: SiteId, from: SiteId, msg: FsMsg) -> SysResult<FsReply> {
         match msg {
             FsMsg::OpenReq {
                 gfid,
@@ -357,22 +357,24 @@ impl FsCluster {
                 us,
                 write,
             } => ops::open::handle_ss_poll(self, at, gfid, &latest, us, write),
-            FsMsg::ReadPage { gfid, lpn, .. } => ops::io::handle_read_page(self, at, gfid, lpn),
+            FsMsg::ReadPage { gfid, lpn, .. } => {
+                ops::io::handle_read_page(self, at, from, gfid, lpn)
+            }
             FsMsg::ReadPages {
                 gfid, first, count, ..
-            } => ops::io::handle_read_pages(self, at, gfid, first, count),
+            } => ops::io::handle_read_pages(self, at, from, gfid, first, count),
             FsMsg::WritePages {
                 gfid,
                 first,
                 pages,
                 new_size,
-            } => ops::io::handle_write_pages(self, at, gfid, first, &pages, new_size),
+            } => ops::io::handle_write_pages(self, at, from, gfid, first, &pages, new_size),
             FsMsg::WritePage {
                 gfid,
                 lpn,
                 data,
                 new_size,
-            } => ops::io::handle_write_page(self, at, gfid, lpn, &data, new_size),
+            } => ops::io::handle_write_page(self, at, from, gfid, lpn, &data, new_size),
             FsMsg::Commit { gfid, meta } => ops::commit::handle_commit(self, at, gfid, meta),
             FsMsg::AbortChanges { gfid } => ops::commit::handle_abort(self, at, gfid),
             FsMsg::Close { gfid, us, write } => ops::open::handle_close(self, at, gfid, us, write),
@@ -414,6 +416,12 @@ impl FsCluster {
                 Ok(FsReply::Ok)
             }
             FsMsg::VvCheck { gfid } => ops::namei::handle_vv_check(self, at, gfid),
+            FsMsg::CssHandoff { fg, epoch, new_css } => {
+                crate::handoff::handle_css_handoff(self, at, fg, epoch, new_css)
+            }
+            FsMsg::CssUpdate { fg, epoch, new_css } => {
+                crate::handoff::handle_css_update(self, at, fg, epoch, new_css)
+            }
         }
     }
 }

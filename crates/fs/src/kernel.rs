@@ -132,6 +132,12 @@ pub struct FsKernel {
     pub(crate) incore: HashMap<Gfid, Incore>,
     pub(crate) cache: BufferCache,
     pub(crate) sessions: HashMap<Gfid, ShadowSession>,
+    /// The using site each open session belongs to. Shadow pages are
+    /// visible only to their writer: any other reader — a propagation
+    /// pull, a third-party open — must see the last committed version, or
+    /// an orphaned session (its writer's close lost to the network) would
+    /// serve uncommitted pages under committed metadata.
+    pub(crate) session_writer: HashMap<Gfid, SiteId>,
     pub(crate) fds: HashMap<Fd, OpenFile>,
     next_fd: Fd,
     pub(crate) shared_home: HashMap<SharedFdId, SharedHome>,
@@ -165,6 +171,7 @@ impl FsKernel {
             incore: HashMap::new(),
             cache: BufferCache::new(256),
             sessions: HashMap::new(),
+            session_writer: HashMap::new(),
             fds: HashMap::new(),
             next_fd: 3, // 0-2 conventionally reserved
             shared_home: HashMap::new(),
@@ -211,6 +218,37 @@ impl FsKernel {
     /// Attaches a physical container to this site.
     pub fn attach_pack(&mut self, pack: Pack) {
         self.packs.insert(pack.id(), pack);
+    }
+
+    /// Detaches a physical container (live replica removal). Returns the
+    /// pack, if this site hosted it.
+    pub fn detach_pack(&mut self, id: PackId) -> Option<Pack> {
+        self.packs.remove(&id)
+    }
+
+    /// Notified most-current version vectors recorded for files of `fg` —
+    /// the "knows what the most current version of the file is" state a
+    /// CSS hands to its successor.
+    pub fn latest_entries_for(
+        &self,
+        fg: FilegroupId,
+    ) -> impl Iterator<Item = (Gfid, &locus_types::VersionVector)> + '_ {
+        self.latest
+            .iter()
+            .filter(move |(g, _)| g.fg == fg)
+            .map(|(g, vv)| (*g, vv))
+    }
+
+    /// Live CSS lock-table entries for files of `fg` (§2.3.3 incore
+    /// synchronization state), for handoff to a successor CSS.
+    pub fn css_locks_for(
+        &self,
+        fg: FilegroupId,
+    ) -> impl Iterator<Item = (Gfid, &crate::incore::CssState)> + '_ {
+        self.incore
+            .iter()
+            .filter(move |(g, _)| g.fg == fg)
+            .filter_map(|(g, inc)| inc.css.as_ref().map(|cs| (*g, cs)))
     }
 
     /// The local container of `fg`, if this site hosts one.

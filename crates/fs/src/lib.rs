@@ -32,6 +32,7 @@ pub mod cluster;
 pub mod cost;
 pub mod device;
 pub mod directory;
+pub mod handoff;
 pub mod incore;
 pub mod kernel;
 pub mod mailbox;
@@ -44,6 +45,7 @@ pub mod proto;
 pub use build::FsClusterBuilder;
 pub use cluster::{FsCluster, IoPolicy};
 pub use directory::{DirEntry, Directory};
+pub use handoff::{css_handoff, probation_probe, replica_add, replica_remove, HandoffReport};
 pub use kernel::FsKernel;
 pub use mount::{MountInfo, MountTable};
 pub use proto::{Fd, InodeInfo, ProcFsCtx};

@@ -28,6 +28,12 @@ pub struct MountInfo {
     /// this kernel's partition ("there is only one CSS for any given
     /// filegroup in any set of communicating sites", §2.3.1).
     pub css: SiteId,
+    /// Epoch of the CSS assignment. Every live handoff and every
+    /// reconfiguration-driven reassignment bumps it; sites adopt an
+    /// assignment only if its epoch is newer than the one they hold, so
+    /// stale redirects and duplicated update messages cannot roll the
+    /// role backwards.
+    pub css_epoch: u64,
 }
 
 impl MountInfo {
@@ -114,6 +120,20 @@ impl MountTable {
     pub fn css_of(&self, fg: FilegroupId) -> SysResult<SiteId> {
         Ok(self.get(fg)?.css)
     }
+
+    /// Adopts a CSS assignment if `epoch` is strictly newer than the one
+    /// on record. Returns whether the table changed. Monotonicity makes
+    /// redirect handling and update delivery order-insensitive.
+    pub fn adopt_css(&mut self, fg: FilegroupId, css: SiteId, epoch: u64) -> bool {
+        match self.groups.get_mut(&fg) {
+            Some(m) if epoch > m.css_epoch => {
+                m.css = css;
+                m.css_epoch = epoch;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -127,7 +147,23 @@ mod tests {
             mounted_on: on,
             containers: vec![(PackId::new(FilegroupId(fg), 0), SiteId(css))],
             css: SiteId(css),
+            css_epoch: 0,
         }
+    }
+
+    #[test]
+    fn adopt_css_is_epoch_monotone() {
+        let mut t = MountTable::new();
+        t.add(info(0, None, 0));
+        assert!(t.adopt_css(FilegroupId(0), SiteId(2), 3));
+        assert_eq!(t.css_of(FilegroupId(0)).unwrap(), SiteId(2));
+        // An older or equal epoch never rolls the assignment back.
+        assert!(!t.adopt_css(FilegroupId(0), SiteId(1), 3));
+        assert!(!t.adopt_css(FilegroupId(0), SiteId(1), 2));
+        assert_eq!(t.css_of(FilegroupId(0)).unwrap(), SiteId(2));
+        assert!(t.adopt_css(FilegroupId(0), SiteId(1), 4));
+        assert_eq!(t.css_of(FilegroupId(0)).unwrap(), SiteId(1));
+        assert!(!t.adopt_css(FilegroupId(9), SiteId(1), 99), "unknown fg");
     }
 
     #[test]

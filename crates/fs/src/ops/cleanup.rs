@@ -176,11 +176,34 @@ pub fn cleanup_site(fsc: &FsCluster, site: SiteId, alive: &BTreeSet<SiteId>) -> 
 
 fn abort_local_session(fsc: &FsCluster, site: SiteId, gfid: Gfid) -> Result<(), Errno> {
     let mut k = fsc.kernel(site);
+    k.session_writer.remove(&gfid);
     if let Some(sess) = k.sessions.remove(&gfid) {
         let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
         sess.abort(pack)?;
     }
     Ok(())
+}
+
+/// Aborts every open modification session at `site`, §5.6-style: called
+/// when the site rejoins after an isolation window during which no
+/// writer's close or abort could reach it. Commits are refused at a
+/// quarantined SS, so nothing these sessions hold was ever promised to a
+/// client — discarding them is the only consistent choice. Returns the
+/// number of sessions dropped.
+pub(crate) fn sweep_local_sessions(fsc: &FsCluster, site: SiteId) -> usize {
+    let mut k = fsc.kernel(site);
+    let gfids: Vec<Gfid> = k.sessions.keys().copied().collect();
+    let mut swept = 0;
+    for gfid in gfids {
+        k.session_writer.remove(&gfid);
+        let sess = k.sessions.remove(&gfid).expect("just listed");
+        if let Some(pack) = k.pack_of(gfid.fg) {
+            if sess.abort(pack).is_ok() {
+                swept += 1;
+            }
+        }
+    }
+    swept
 }
 
 /// Lock-table reconstruction at a (new) CSS: every partition member

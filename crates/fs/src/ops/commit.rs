@@ -76,11 +76,20 @@ pub(crate) fn handle_commit(
     meta: Option<MetaUpdate>,
 ) -> SysResult<FsReply> {
     fsc.net().charge_cpu(cost::CONTROL_CPU);
+    // A quarantined storage site must not acknowledge commits: its links
+    // are suspect, so a version installed here could silently diverge
+    // from what the notifications propagate. The using site sees the
+    // failure and the session stays intact for an abort or a retry at a
+    // healthy replica (the trace auditor enforces this refusal).
+    if fsc.net().quarantined(ss) {
+        return Err(Errno::Esitedown);
+    }
     let now = fsc.net().now();
     let (info, pages, inode_only, containers, css, readers, origin) = {
         let mut k = fsc.kernel(ss);
         let css = k.mount.css_of(gfid.fg)?;
         let containers = k.mount.get(gfid.fg)?.containers.clone();
+        k.session_writer.remove(&gfid);
         let mut sess = match k.sessions.remove(&gfid) {
             Some(s) => s,
             None => {
@@ -99,6 +108,9 @@ pub(crate) fn handle_commit(
             }
             if let Some(n) = m.nlink {
                 sess.set_nlink(n);
+            }
+            if let Some(r) = &m.replicas {
+                sess.set_replicas(r.clone());
             }
             if m.delete {
                 sess.mark_deleted();
@@ -178,6 +190,7 @@ pub(crate) fn handle_commit(
 pub(crate) fn handle_abort(fsc: &FsCluster, ss: SiteId, gfid: Gfid) -> SysResult<FsReply> {
     fsc.net().charge_cpu(cost::CONTROL_CPU);
     let mut k = fsc.kernel(ss);
+    k.session_writer.remove(&gfid);
     if let Some(sess) = k.sessions.remove(&gfid) {
         let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
         sess.abort(pack)?;
@@ -307,7 +320,17 @@ pub(crate) fn propagate_pull(fsc: &FsCluster, site: SiteId, req: &PropReq) -> Sy
     {
         let k = fsc.kernel(site);
         if let Some(local) = k.local_info(gfid) {
-            if local.vv.covers(&info.vv) {
+            // A data replica whose copy is *pageless* must pull even when
+            // its recorded version is current: a first-sight notification
+            // (a file this container had never heard of — e.g. one that
+            // existed before the container was added live) installs the
+            // inode with its new vector before any page has arrived.
+            let pageless_replica = !info.deleted
+                && !local.deleted
+                && !k.stores_data(gfid)
+                && k.pack_of_ref(gfid.fg)
+                    .is_some_and(|p| info.replicas.contains(&p.origin()));
+            if local.vv.covers(&info.vv) && !pageless_replica {
                 return Ok(());
             }
             if local.vv.compare(&info.vv).is_conflict() {

@@ -349,9 +349,15 @@ pub fn close(fsc: &FsCluster, site: SiteId, fd: Fd) -> SysResult<()> {
         }
         FdKind::Device | FdKind::File => {}
     }
-    if of.wrote {
-        commit::commit_at(fsc, site, of.gfid, of.ss, None)?;
-    }
+    // A failed commit must not short-circuit the close: the descriptor is
+    // gone either way, and skipping the release legs would strand the
+    // CSS write slot and the SS session until a reconfiguration sweeps
+    // them. Release everything, then report the commit's error.
+    let committed = if of.wrote {
+        commit::commit_at(fsc, site, of.gfid, of.ss, None).map(|_| ())
+    } else {
+        Ok(())
+    };
     let t = OpenTicket {
         gfid: of.gfid,
         ss: of.ss,
@@ -360,7 +366,8 @@ pub fn close(fsc: &FsCluster, site: SiteId, fd: Fd) -> SysResult<()> {
         unsync: false,
         info: of.info,
     };
-    close_ticket(fsc, site, &t)
+    let released = close_ticket(fsc, site, &t);
+    committed.and(released)
 }
 
 /// Marks a descriptor as shared (the fork path calls this before cloning

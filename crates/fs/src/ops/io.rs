@@ -16,10 +16,23 @@ pub(crate) fn net_cache_pack(fg: FilegroupId) -> PackId {
     PackId::new(fg, u32::MAX)
 }
 
-/// Reads one page at a site that stores the file, serving a writer's own
-/// uncommitted shadow pages when a modification session is open.
-pub(crate) fn local_read_page(k: &mut FsKernel, gfid: Gfid, lpn: usize) -> SysResult<Vec<u8>> {
-    if k.sessions.contains_key(&gfid) {
+/// True when an open modification session exists and belongs to
+/// `requester` — the only case a read may be served from shadow pages.
+/// Everyone else (propagation pulls, other opens) reads the committed
+/// version: an orphaned session must never leak uncommitted pages.
+fn serves_session(k: &FsKernel, requester: SiteId, gfid: Gfid) -> bool {
+    k.sessions.contains_key(&gfid) && k.session_writer.get(&gfid) == Some(&requester)
+}
+
+/// Reads one page at a site that stores the file, serving the writer's
+/// own uncommitted shadow pages when its modification session is open.
+pub(crate) fn local_read_page(
+    k: &mut FsKernel,
+    requester: SiteId,
+    gfid: Gfid,
+    lpn: usize,
+) -> SysResult<Vec<u8>> {
+    if serves_session(k, requester, gfid) {
         let sess = k.sessions.remove(&gfid).expect("checked above");
         let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
         let r = sess.read_page(pack, lpn);
@@ -31,20 +44,27 @@ pub(crate) fn local_read_page(k: &mut FsKernel, gfid: Gfid, lpn: usize) -> SysRe
 }
 
 /// Reads one page locally *through the kernel buffer cache* ("all such
-/// requests are serviced via kernel buffers", §2.3.3). Open sessions are
-/// never cached (their pages change in place).
-pub(crate) fn cached_local_page(k: &mut FsKernel, gfid: Gfid, lpn: usize) -> SysResult<Vec<u8>> {
-    if !k.sessions.contains_key(&gfid) {
+/// requests are serviced via kernel buffers", §2.3.3). Session-served
+/// pages are never cached (they change in place); committed pages are
+/// cacheable even while a session is open, since the session only
+/// becomes visible at commit — which invalidates the cache.
+pub(crate) fn cached_local_page(
+    k: &mut FsKernel,
+    requester: SiteId,
+    gfid: Gfid,
+    lpn: usize,
+) -> SysResult<Vec<u8>> {
+    if !serves_session(k, requester, gfid) {
         if let Some(pack_id) = k.pack_of(gfid.fg).map(|p| p.id()) {
             if let Some(data) = k.cache.get(&(pack_id, gfid.ino, lpn)) {
                 return Ok(data);
             }
-            let data = local_read_page(k, gfid, lpn)?;
+            let data = local_read_page(k, requester, gfid, lpn)?;
             k.cache.put((pack_id, gfid.ino, lpn), data.clone());
             return Ok(data);
         }
     }
-    local_read_page(k, gfid, lpn)
+    local_read_page(k, requester, gfid, lpn)
 }
 
 /// Fetches one logical page for a US, through the cache; `npages` bounds
@@ -62,14 +82,14 @@ pub fn get_page(
     flush_write_behind(fsc, us, gfid)?;
     if ss == us {
         let mut k = fsc.kernel(us);
-        let data = cached_local_page(&mut k, gfid, lpn)?;
+        let data = cached_local_page(&mut k, us, gfid, lpn)?;
         let io = k
             .pack_of(gfid.fg)
             .map(|p| p.take_io_cost())
             .unwrap_or_default();
         // Local one-page readahead for sequential access.
         if lpn + 1 < npages {
-            let _ = cached_local_page(&mut k, gfid, lpn + 1);
+            let _ = cached_local_page(&mut k, us, gfid, lpn + 1);
             let _ = k.pack_of(gfid.fg).map(|p| p.take_io_cost());
         }
         drop(k);
@@ -124,12 +144,13 @@ pub fn get_page(
 pub(crate) fn handle_read_page(
     fsc: &FsCluster,
     ss: SiteId,
+    from: SiteId,
     gfid: Gfid,
     lpn: usize,
 ) -> SysResult<FsReply> {
     let (data, io, vv_total) = {
         let mut k = fsc.kernel(ss);
-        let data = cached_local_page(&mut k, gfid, lpn)?;
+        let data = cached_local_page(&mut k, from, gfid, lpn)?;
         let io = k
             .pack_of(gfid.fg)
             .map(|p| p.take_io_cost())
@@ -227,6 +248,7 @@ pub fn get_page_batched(
 pub(crate) fn handle_read_pages(
     fsc: &FsCluster,
     ss: SiteId,
+    from: SiteId,
     gfid: Gfid,
     first: usize,
     count: usize,
@@ -237,7 +259,7 @@ pub(crate) fn handle_read_pages(
     {
         let mut k = fsc.kernel(ss);
         for i in 0..count.max(1) {
-            match cached_local_page(&mut k, gfid, first + i) {
+            match cached_local_page(&mut k, from, gfid, first + i) {
                 Ok(data) => {
                     io += k.pack_of(gfid.fg).map(|p| p.take_io_cost()).unwrap_or_default();
                     pages.push(data);
@@ -255,21 +277,29 @@ pub(crate) fn handle_read_pages(
 }
 
 /// Writes one page into the file's open modification session at its SS,
-/// beginning the session on first touch.
+/// beginning the session on first touch. A leftover session from a
+/// *different* writer is dead — the single-writer policy means that
+/// writer's close or abort was lost in transit — and is discarded before
+/// the new session begins.
 pub(crate) fn local_write_page(
     k: &mut FsKernel,
+    writer: SiteId,
     gfid: Gfid,
     lpn: usize,
     data: &[u8],
     new_size: u64,
 ) -> SysResult<()> {
     let mut sess = match k.sessions.remove(&gfid) {
-        Some(s) => s,
-        None => {
+        Some(s) if k.session_writer.get(&gfid) == Some(&writer) => s,
+        stale => {
             let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+            if let Some(s) = stale {
+                s.abort(pack)?;
+            }
             locus_storage::ShadowSession::begin(pack, gfid.ino)?
         }
     };
+    k.session_writer.insert(gfid, writer);
     let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
     let r = if lpn == usize::MAX {
         // Truncate control write: shrink to exactly `new_size` bytes.
@@ -292,6 +322,7 @@ pub(crate) fn local_write_page(
 pub(crate) fn handle_write_page(
     fsc: &FsCluster,
     ss: SiteId,
+    from: SiteId,
     gfid: Gfid,
     lpn: usize,
     data: &[u8],
@@ -299,7 +330,7 @@ pub(crate) fn handle_write_page(
 ) -> SysResult<FsReply> {
     fsc.net().charge_cpu(cost::PAGE_SERVICE_CPU);
     let mut k = fsc.kernel(ss);
-    local_write_page(&mut k, gfid, lpn, data, new_size)?;
+    local_write_page(&mut k, from, gfid, lpn, data, new_size)?;
     Ok(FsReply::Ok)
 }
 
@@ -310,6 +341,7 @@ pub(crate) fn handle_write_page(
 pub(crate) fn handle_write_pages(
     fsc: &FsCluster,
     ss: SiteId,
+    from: SiteId,
     gfid: Gfid,
     first: usize,
     pages: &[Vec<u8>],
@@ -319,7 +351,7 @@ pub(crate) fn handle_write_pages(
         .charge_cpu(cost::PAGE_SERVICE_CPU.scaled(pages.len().max(1) as u64));
     let mut k = fsc.kernel(ss);
     for (i, page) in pages.iter().enumerate() {
-        local_write_page(&mut k, gfid, first + i, page, new_size)?;
+        local_write_page(&mut k, from, gfid, first + i, page, new_size)?;
     }
     Ok(FsReply::Ok)
 }
@@ -457,7 +489,7 @@ pub fn put_page_range(
         let new_size = (pos + take as u64).max(old_size);
         if ss == us {
             let mut k = fsc.kernel(us);
-            local_write_page(&mut k, gfid, lpn, &page, new_size)?;
+            local_write_page(&mut k, us, gfid, lpn, &page, new_size)?;
             drop(k);
             fsc.net().charge_cpu(cost::PAGE_SERVICE_CPU);
         } else if buffering {

@@ -113,12 +113,16 @@ pub(crate) fn truncate_local(
 ) -> SysResult<()> {
     let mut k = fsc.kernel(ss);
     let mut sess = match k.sessions.remove(&gfid) {
-        Some(s) => s,
-        None => {
+        Some(s) if k.session_writer.get(&gfid) == Some(&ss) => s,
+        stale => {
             let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
+            if let Some(s) = stale {
+                s.abort(pack)?;
+            }
             locus_storage::ShadowSession::begin(pack, gfid.ino)?
         }
     };
+    k.session_writer.insert(gfid, ss);
     let pack = k.pack_of(gfid.fg).ok_or(Errno::Enocopy)?;
     let r = sess.truncate_pages(pack, npages);
     sess.set_size(new_size);
@@ -215,15 +219,29 @@ fn local_bypass(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> bool {
 /// (§2.3.1) — the cache revalidation probe. A procedure call when this
 /// site is the CSS, one [`FsMsg::VvCheck`] round trip otherwise.
 fn css_known_latest(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> SysResult<VersionVector> {
-    let css = fsc.kernel(us).mount.css_of(gfid.fg)?;
-    let reply = if css == us {
-        handle_vv_check(fsc, css, gfid)?
-    } else {
-        fsc.rpc(us, css, FsMsg::VvCheck { gfid })?
-    };
-    match reply {
-        FsReply::VvKnown { vv } => Ok(vv),
-        _ => Err(Errno::Eio),
+    let mut css = fsc.kernel(us).mount.css_of(gfid.fg)?;
+    let mut redirects = 0;
+    loop {
+        let reply = if css == us {
+            handle_vv_check(fsc, css, gfid)?
+        } else {
+            fsc.rpc(us, css, FsMsg::VvCheck { gfid })?
+        };
+        match reply {
+            FsReply::VvKnown { vv } => return Ok(vv),
+            // The probe raced a CSS handoff: adopt the newer assignment
+            // and revalidate against the site actually holding the role
+            // — a warm cache must never be vouched for by an ex-CSS.
+            FsReply::NotCss { epoch, new_css } => {
+                redirects += 1;
+                if redirects > crate::handoff::MAX_CSS_REDIRECTS || new_css == css {
+                    return Err(Errno::Esitedown);
+                }
+                fsc.with_kernel(us, |k| k.mount.adopt_css(gfid.fg, new_css, epoch));
+                css = new_css;
+            }
+            _ => return Err(Errno::Eio),
+        }
     }
 }
 
@@ -233,6 +251,13 @@ fn css_known_latest(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> SysResult<Versio
 pub(crate) fn handle_vv_check(fsc: &FsCluster, css: SiteId, gfid: Gfid) -> SysResult<FsReply> {
     fsc.net().charge_cpu(cost::CONTROL_CPU);
     let k = fsc.kernel(css);
+    let m = k.mount.get(gfid.fg)?;
+    if m.css != css {
+        return Ok(FsReply::NotCss {
+            epoch: m.css_epoch,
+            new_css: m.css,
+        });
+    }
     if k.local_info(gfid).is_none() {
         return Err(Errno::Enoent);
     }

@@ -72,20 +72,38 @@ fn open_gfid_inner(
     };
 
     // "If the local site is the CSS, only a procedure call is needed"
-    // (§2.3.3).
-    let reply = if css == us {
-        handle_css_open(fsc, css, gfid, mode, us_vv, us)?
-    } else {
-        fsc.rpc(
-            us,
-            css,
-            FsMsg::OpenReq {
-                gfid,
-                mode,
-                us_vv,
-                us,
-            },
-        )?
+    // (§2.3.3). A `NotCss` redirect means the request raced a live CSS
+    // handoff: adopt the newer assignment and retry against the new CSS.
+    // The bound covers any realistic chain of back-to-back handoffs; an
+    // assignment loop beyond it surfaces as an error instead of hanging.
+    let mut css = css;
+    let reply = {
+        let mut redirects = 0;
+        loop {
+            let r = if css == us {
+                handle_css_open(fsc, css, gfid, mode, us_vv.clone(), us)?
+            } else {
+                fsc.rpc(
+                    us,
+                    css,
+                    FsMsg::OpenReq {
+                        gfid,
+                        mode,
+                        us_vv: us_vv.clone(),
+                        us,
+                    },
+                )?
+            };
+            let FsReply::NotCss { epoch, new_css } = r else {
+                break r;
+            };
+            redirects += 1;
+            if redirects > crate::handoff::MAX_CSS_REDIRECTS || new_css == css {
+                return Err(Errno::Esitedown);
+            }
+            fsc.with_kernel(us, |k| k.mount.adopt_css(gfid.fg, new_css, epoch));
+            css = new_css;
+        }
     };
     let FsReply::Opened { ss, info } = reply else {
         return Err(Errno::Eio);
@@ -141,6 +159,15 @@ pub(crate) fn handle_css_open(
     let (latest, local_info, candidates) = {
         let mut k = fsc.kernel(css);
         let minfo = k.mount.get(gfid.fg)?.clone();
+        // A live handoff may have moved the role while this request was
+        // in flight: answer with a typed redirect instead of making a
+        // synchronization decision this site no longer owns.
+        if minfo.css != css {
+            return Ok(FsReply::NotCss {
+                epoch: minfo.css_epoch,
+                new_css: minfo.css,
+            });
+        }
         let local = k.local_info(gfid).ok_or(Errno::Enoent)?;
         if local.deleted {
             return Err(Errno::Enoent);
@@ -151,10 +178,13 @@ pub(crate) fn handle_css_open(
         }
         if mode.is_write() {
             // Single-writer synchronization policy: the writing site "would
-            // be kept incore at the CSS" (§2.3.3).
+            // be kept incore at the CSS" (§2.3.3). The writing site itself
+            // is exempt: a second request from the registered writer is a
+            // retried open whose reply was lost, and rejecting it would
+            // wedge the write slot forever.
             if let Some(inc) = k.incore_get(gfid) {
                 if let Some(cs) = &inc.css {
-                    if cs.writer.is_some() {
+                    if cs.writer.is_some_and(|w| w != us) {
                         return Err(Errno::Etxtbsy);
                     }
                 }
@@ -185,10 +215,12 @@ pub(crate) fn handle_css_open(
     }
 
     // Optimization 2: the CSS stores the latest version and picks itself
-    // "without any message overhead".
+    // "without any message overhead". A quarantined CSS keeps making
+    // synchronization decisions (until the handoff relieves it) but
+    // stops volunteering its own replica for reads and writes.
     let css_has_latest = {
         let k = fsc.kernel(css);
-        k.stores_data(gfid) && local_info.vv.covers(&latest)
+        k.stores_data(gfid) && local_info.vv.covers(&latest) && !fsc.net().quarantined(css)
     };
     if css_has_latest {
         register_open(fsc, css, gfid, us, css, mode, &local_info)?;
@@ -203,9 +235,11 @@ pub(crate) fn handle_css_open(
     }
 
     // General case: poll potential storage sites (§2.3.3). Inaccessible
-    // sites are simply skipped — polls to them would time out.
+    // sites are simply skipped — polls to them would time out — and so
+    // are health-quarantined sites: a gray replica must not serve reads
+    // or acknowledge commits until probation readmits it.
     for cand in candidates {
-        if !fsc.net().reachable(css, cand) {
+        if !fsc.net().reachable(css, cand) || fsc.net().quarantined(cand) {
             continue;
         }
         let poll = FsMsg::SsPoll {
@@ -220,6 +254,38 @@ pub(crate) fn handle_css_open(
                 return Ok(FsReply::Opened { ss: cand, info });
             }
             Ok(_) | Err(_) => continue,
+        }
+    }
+
+    // Degraded fallback: every candidate replica is stale, unreachable or
+    // quarantined — e.g. the only current copy sits on a gray site. If a
+    // commit notification already queued a propagation for this file, the
+    // CSS drains it on demand — recovery pulls *from* a quarantined site
+    // are allowed, quarantine only bars it from serving client opens —
+    // and then offers its own, now-current replica as the SS.
+    if !fsc.net().quarantined(css) {
+        let pending = {
+            let k = fsc.kernel(css);
+            k.prop_queue.iter().find(|r| r.gfid == gfid).cloned()
+        };
+        if let Some(req) = pending {
+            if crate::ops::commit::propagate_pull(fsc, css, &req).is_ok() {
+                fsc.with_kernel(css, |k| k.prop_queue.retain(|r| r.gfid != gfid));
+                let current = {
+                    let k = fsc.kernel(css);
+                    k.local_info(gfid).filter(|i| {
+                        !i.deleted && k.stores_data(gfid) && i.vv.covers(&latest)
+                    })
+                };
+                if let Some(info) = current {
+                    register_open(fsc, css, gfid, us, css, mode, &info)?;
+                    if us != css {
+                        let mut k = fsc.kernel(css);
+                        k.incore_mut(gfid, info.clone()).serving.insert(us);
+                    }
+                    return Ok(FsReply::Opened { ss: css, info });
+                }
+            }
         }
     }
     Err(Errno::Enocopy)
@@ -343,6 +409,20 @@ fn ss_side_close(
     write: bool,
     unsync: bool,
 ) -> SysResult<()> {
+    if write {
+        // The writer is gone; a session still open here means its commit
+        // never arrived (a lost write ack left pages the US never
+        // confirmed). Closing without committing discards them.
+        let mut k = fsc.kernel(ss);
+        if k.session_writer.get(&gfid) == Some(&us) {
+            k.session_writer.remove(&gfid);
+            if let Some(sess) = k.sessions.remove(&gfid) {
+                if let Some(pack) = k.pack_of(gfid.fg) {
+                    let _ = sess.abort(pack);
+                }
+            }
+        }
+    }
     let css = fsc.kernel(ss).mount.css_of(gfid.fg)?;
     if !unsync {
         if css == ss {

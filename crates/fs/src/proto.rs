@@ -310,6 +310,33 @@ pub enum FsMsg {
         /// Target file.
         gfid: Gfid,
     },
+    /// New CSS → old CSS: epoch-numbered synchronization-role transfer.
+    /// The old CSS stops answering as CSS (racing requests get
+    /// [`FsReply::NotCss`] redirects), records the new assignment, and
+    /// replies with its drained synchronization state — the most current
+    /// version vectors it knows and the live lock table for the
+    /// filegroup. The reply is computed from a snapshot the old CSS
+    /// keeps until a newer epoch supersedes it, so a retried handoff
+    /// whose reply was lost re-fetches the same state.
+    CssHandoff {
+        /// The filegroup changing synchronization site.
+        fg: locus_types::FilegroupId,
+        /// The new, strictly larger CSS epoch.
+        epoch: u64,
+        /// The site taking over as CSS.
+        new_css: SiteId,
+    },
+    /// New CSS → everyone else (one-way): the filegroup's CSS changed.
+    /// Receivers adopt the assignment only if the epoch is newer than
+    /// the one they hold, so late or duplicated updates are harmless.
+    CssUpdate {
+        /// The filegroup whose CSS changed.
+        fg: locus_types::FilegroupId,
+        /// The epoch of the assignment.
+        epoch: u64,
+        /// The site now acting as CSS.
+        new_css: SiteId,
+    },
 }
 
 /// Inode-only modifications folded into a commit ("it was just inode
@@ -325,12 +352,21 @@ pub struct MetaUpdate {
     pub nlink: Option<u32>,
     /// Mark the file deleted (§2.3.7 delete-via-commit).
     pub delete: bool,
+    /// New data-replica set (pack indexes), if changing — how a live
+    /// replica addition or removal reaches existing files: the new set
+    /// commits like any other inode change and the commit notification
+    /// triggers the propagation pulls.
+    pub replicas: Option<Vec<u32>>,
 }
 
 impl MetaUpdate {
     /// Whether this update changes anything.
     pub fn is_empty(&self) -> bool {
-        self.perms.is_none() && self.owner.is_none() && self.nlink.is_none() && !self.delete
+        self.perms.is_none()
+            && self.owner.is_none()
+            && self.nlink.is_none()
+            && self.replicas.is_none()
+            && !self.delete
     }
 }
 
@@ -401,6 +437,23 @@ pub enum FsReply {
         /// Latest known version vector.
         vv: VersionVector,
     },
+    /// Reply to [`FsMsg::CssHandoff`]: the old CSS's drained
+    /// synchronization state for the filegroup.
+    HandoffState {
+        /// Most current version vectors the old CSS knew, per file.
+        latest: Vec<(Gfid, VersionVector)>,
+        /// Live open/lock state, per file (§2.3.3 CSS state).
+        locks: Vec<(Gfid, crate::incore::CssState)>,
+    },
+    /// "I am no longer the CSS for this filegroup": a typed redirect
+    /// carrying the newest assignment the answering site knows. The
+    /// caller adopts it and retries against the named site.
+    NotCss {
+        /// Epoch of the assignment the answering site holds.
+        epoch: u64,
+        /// The site it believes is the CSS.
+        new_css: SiteId,
+    },
     /// Generic success.
     Ok,
 }
@@ -430,6 +483,8 @@ impl FsMsg {
             FsMsg::CreateAt { .. } => "CREATE req",
             FsMsg::Invalidate { .. } => "INVALIDATE",
             FsMsg::VvCheck { .. } => "VV check",
+            FsMsg::CssHandoff { .. } => "CSS handoff",
+            FsMsg::CssUpdate { .. } => "CSS update",
         }
     }
 
@@ -456,6 +511,8 @@ impl FsMsg {
             FsMsg::CreateAt { .. } => "CREATE resp",
             FsMsg::Invalidate { .. } => "INVALIDATE ack",
             FsMsg::VvCheck { .. } => "VV resp",
+            FsMsg::CssHandoff { .. } => "CSS handoff resp",
+            FsMsg::CssUpdate { .. } => "CSS update ack",
         }
     }
 
@@ -488,6 +545,8 @@ impl FsMsg {
                 | FsMsg::AbortChanges { .. }
                 | FsMsg::Invalidate { .. }
                 | FsMsg::VvCheck { .. }
+                | FsMsg::CssHandoff { .. }
+                | FsMsg::CssUpdate { .. }
         )
     }
 }
@@ -523,6 +582,9 @@ impl FsReply {
             FsReply::Page { data } => crate::cost::CONTROL_MSG_BYTES + data.len(),
             FsReply::Pages { pages } => {
                 crate::cost::CONTROL_MSG_BYTES + pages.iter().map(Vec::len).sum::<usize>()
+            }
+            FsReply::HandoffState { latest, locks } => {
+                crate::cost::CONTROL_MSG_BYTES + 32 * (latest.len() + locks.len())
             }
             FsReply::Opened { .. }
             | FsReply::Committed { .. }

@@ -160,7 +160,7 @@ fn run_schedule_with(seed: u64, policy: IoPolicy, pad: usize) -> Result<Schedule
         .retry_policy(RetryPolicy {
             max_attempts: 12,
             base_backoff: Ticks::millis(1),
-            multiplier: 2,
+            ..RetryPolicy::default()
         })
         .io_policy(policy)
         // The name cache must survive the full fault model without ever
@@ -408,7 +408,7 @@ fn opens_always_succeed_under_pure_message_loss() {
         .retry_policy(RetryPolicy {
             max_attempts: 12,
             base_backoff: Ticks::millis(1),
-            multiplier: 2,
+            ..RetryPolicy::default()
         })
         .build();
     let c0 = ctx(&fsc, WRITER);

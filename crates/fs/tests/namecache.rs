@@ -205,7 +205,7 @@ fn run_hidden_rewrite_schedule(seed: u64) -> Result<(), String> {
     fsc.set_retry_policy(RetryPolicy {
         max_attempts: 12,
         base_backoff: Ticks::millis(1),
-        multiplier: 2,
+        ..RetryPolicy::default()
     });
     mkdir(&fsc, s(0), "/bin", FileType::Directory);
     mkdir(&fsc, s(0), "/bin/who", FileType::HiddenDirectory);
@@ -270,6 +270,64 @@ fn rewritten_hidden_directory_is_never_served_stale() {
     }
 }
 
+/// A live CSS handoff must not strand cached names: entries validated
+/// against the old CSS's version knowledge revalidate through the *new*
+/// CSS afterwards — warm resolution keeps working, the probe traffic
+/// moves to the new synchronization site, and a foreign commit made
+/// after the handoff is still observed on the very next stat.
+#[test]
+fn cached_names_revalidate_through_the_new_css_after_handoff() {
+    let fsc = FsClusterBuilder::new()
+        .vax_sites(3)
+        .filegroup("root", &[0, 1])
+        .name_cache(true)
+        .build();
+    seed_tree(&fsc);
+
+    // Warm the diskless site's cache against the build-time CSS (site 0).
+    let c2 = ctx(&fsc, s(2));
+    let gfid = namei::resolve(&fsc, s(2), &c2, "/a/b/c/f").unwrap();
+    assert_eq!(namei::stat_gfid(&fsc, s(2), gfid).unwrap().size, 1024);
+
+    // Move the synchronization role while the cache is warm.
+    let report = locus_fs::css_handoff(&fsc, locus_types::FilegroupId(0), s(1)).unwrap();
+    assert_eq!(report.new_css, s(1));
+
+    // Warm resolution survives the move, still VV-probe-only — but the
+    // probes now interrogate the new CSS.
+    fsc.net().set_tracing(true);
+    fsc.net().reset_stats();
+    assert_eq!(namei::resolve(&fsc, s(2), &c2, "/a/b/c/f").unwrap(), gfid);
+    let st = fsc.net().stats();
+    assert_eq!(
+        st.total_sends(),
+        st.sends("VV check") + st.sends("VV resp"),
+        "warm post-handoff resolution may only exchange VV probes"
+    );
+    let trace = fsc.net().take_trace();
+    assert!(
+        trace
+            .iter()
+            .filter(|e| e.kind == "VV check")
+            .all(|e| e.to == s(1)),
+        "every revalidation probe must target the new CSS"
+    );
+    assert!(
+        trace.iter().any(|e| e.kind == "VV check"),
+        "warm resolution still revalidates"
+    );
+
+    // A foreign commit after the handoff: the next remote stat observes
+    // it immediately — the cached attributes cannot survive a version
+    // the new CSS knows to be newer.
+    let c0 = ctx(&fsc, s(0));
+    let fdn = fd::open(&fsc, s(0), &c0, "/a/b/c/f", OpenMode::Write).unwrap();
+    fd::write(&fsc, s(0), fdn, &[3u8; 2048]).unwrap();
+    fd::close(&fsc, s(0), fdn).unwrap();
+    assert_eq!(namei::stat_gfid(&fsc, s(2), gfid).unwrap().size, 2048);
+    assert_eq!(namei::stat(&fsc, s(2), &c2, "/a/b/c/f").unwrap().size, 2048);
+}
+
 /// The cache keeps the simulation deterministic: replaying one
 /// fault-injected rewrite schedule produces a byte-identical network
 /// trace and identical cache counters.
@@ -286,7 +344,7 @@ fn cached_chaos_schedule_is_deterministic() {
         fsc.set_retry_policy(RetryPolicy {
             max_attempts: 12,
             base_backoff: Ticks::millis(1),
-            multiplier: 2,
+            ..RetryPolicy::default()
         });
         mkdir(&fsc, s(0), "/bin", FileType::Directory);
         mkdir(&fsc, s(0), "/bin/who", FileType::HiddenDirectory);

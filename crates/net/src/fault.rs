@@ -109,6 +109,57 @@ impl FaultSpec {
     }
 }
 
+/// Deterministic *gray* behaviour of one **directed** link.
+///
+/// Unlike the probabilistic [`FaultSpec`], a gray spec is a stable
+/// property of a direction: every message sent `from -> to` is slowed
+/// (latency inflation, not a cut) or silently blocked while the opposite
+/// direction keeps working. This is the failure mode partition detection
+/// cannot see — the link is "up", it is just *wrong* — and what the
+/// health monitor ([`crate::health`]) exists to catch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraySpec {
+    /// Multiplies the base transmission latency (0 and 1 both mean
+    /// "unchanged").
+    pub slow_factor: u32,
+    /// Extra latency added after the multiplication.
+    pub slow_extra: Ticks,
+    /// Every message in this direction is silently lost (asymmetric
+    /// reachability: A reaches B but B's messages to A vanish).
+    pub blocked: bool,
+}
+
+impl GraySpec {
+    /// A slow-link spec: latency is multiplied by `factor` then `extra`
+    /// is added.
+    pub fn slow(factor: u32, extra: Ticks) -> Self {
+        GraySpec {
+            slow_factor: factor,
+            slow_extra: extra,
+            blocked: false,
+        }
+    }
+
+    /// A one-directional block: the direction delivers nothing.
+    pub fn one_way_block() -> Self {
+        GraySpec {
+            blocked: true,
+            ..Default::default()
+        }
+    }
+
+    /// Whether the spec inflates latency.
+    pub fn is_slow(&self) -> bool {
+        self.slow_factor > 1 || self.slow_extra > Ticks::ZERO
+    }
+
+    /// Applies the inflation to a base transmission cost.
+    pub fn inflate(&self, base: Ticks) -> Ticks {
+        let mult = self.slow_factor.max(1) as u64;
+        Ticks::micros(base.as_micros().saturating_mul(mult)) + self.slow_extra
+    }
+}
+
 /// A topology change scheduled against the virtual clock.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultAction {
@@ -155,6 +206,12 @@ pub struct FaultPlan {
     default: FaultSpec,
     per_link: BTreeMap<(SiteId, SiteId), FaultSpec>,
     per_kind: BTreeMap<&'static str, FaultSpec>,
+    /// Gray behaviour keyed by **ordered** `(from, to)` — a gray fault
+    /// is one-directional by definition.
+    per_gray: BTreeMap<(SiteId, SiteId), GraySpec>,
+    /// Per-site flap probability: any message touching the site fails
+    /// with a mid-conversation circuit abort at this rate.
+    flap: BTreeMap<SiteId, f64>,
     schedule: Vec<ScheduledFault>,
 }
 
@@ -197,6 +254,43 @@ impl FaultPlan {
     pub fn kind_spec(mut self, kind: &'static str, spec: FaultSpec) -> Self {
         self.per_kind.insert(kind, spec);
         self
+    }
+
+    /// Installs a gray spec for the **directed** link `from -> to`; the
+    /// opposite direction is unaffected.
+    pub fn gray_link(mut self, from: SiteId, to: SiteId, spec: GraySpec) -> Self {
+        self.per_gray.insert((from, to), spec);
+        self
+    }
+
+    /// Convenience: one-directional slow link — every `from -> to`
+    /// message's latency is multiplied by `factor` then `extra` is added.
+    pub fn slow_link(self, from: SiteId, to: SiteId, factor: u32, extra: Ticks) -> Self {
+        self.gray_link(from, to, GraySpec::slow(factor, extra))
+    }
+
+    /// Convenience: asymmetric reachability — `from -> to` delivers
+    /// nothing while `to -> from` keeps working.
+    pub fn block_direction(self, from: SiteId, to: SiteId) -> Self {
+        self.gray_link(from, to, GraySpec::one_way_block())
+    }
+
+    /// Marks a site as probabilistically *flapping*: every message to or
+    /// from it suffers a mid-conversation circuit abort with probability
+    /// `p` (per message, rolled on the plan's deterministic RNG stream).
+    pub fn flap_site(mut self, site: SiteId, p: f64) -> Self {
+        self.flap.insert(site, p);
+        self
+    }
+
+    /// The gray spec in force for the directed link `from -> to`, if any.
+    pub fn gray_for(&self, from: SiteId, to: SiteId) -> Option<GraySpec> {
+        self.per_gray.get(&(from, to)).copied()
+    }
+
+    /// The flap probability of one site (0.0 if not flapping).
+    pub fn flap_for(&self, site: SiteId) -> f64 {
+        self.flap.get(&site).copied().unwrap_or(0.0)
     }
 
     /// Schedules a raw fault action.
@@ -288,14 +382,23 @@ impl FaultInjector {
     /// reproducible per seed regardless of which probabilities are zero.
     pub(crate) fn judge(&mut self, from: SiteId, to: SiteId, kind: &str) -> Verdict {
         let spec = self.plan.spec_for(from, to, kind);
-        if spec.drop == 0.0
-            && spec.duplicate == 0.0
-            && spec.delay_prob == 0.0
-            && spec.circuit_abort == 0.0
-        {
+        // Combined probability that either endpoint flaps on this message.
+        let flap_p = {
+            let (pf, pt) = (self.plan.flap_for(from), self.plan.flap_for(to));
+            1.0 - (1.0 - pf) * (1.0 - pt)
+        };
+        let spec_active = spec.drop != 0.0
+            || spec.duplicate != 0.0
+            || spec.delay_prob != 0.0
+            || spec.circuit_abort != 0.0;
+        if !spec_active && flap_p == 0.0 {
             return Verdict::Deliver;
         }
-        let (d, dup, del) = (self.rng.gen_f64(), self.rng.gen_f64(), self.rng.gen_f64());
+        let (d, dup, del) = if spec_active {
+            (self.rng.gen_f64(), self.rng.gen_f64(), self.rng.gen_f64())
+        } else {
+            (1.0, 1.0, 1.0)
+        };
         // The abort roll is consumed only when the spec can abort, and
         // after the original three rolls, so plans without circuit aborts
         // reproduce the exact RNG stream (and traces) of earlier versions.
@@ -304,7 +407,12 @@ impl FaultInjector {
         } else {
             1.0
         };
-        if abort < spec.circuit_abort {
+        // The flap roll follows the same stream-preserving discipline:
+        // consumed only when a flapping site is involved, and after every
+        // pre-existing roll, so plans without flapping sites reproduce
+        // the exact RNG stream of earlier versions.
+        let flap = if flap_p > 0.0 { self.rng.gen_f64() } else { 1.0 };
+        if abort < spec.circuit_abort || flap < flap_p {
             Verdict::CircuitAbort
         } else if d < spec.drop {
             Verdict::Drop
@@ -315,6 +423,11 @@ impl FaultInjector {
         } else {
             Verdict::Deliver
         }
+    }
+
+    /// The gray spec for the directed link `from -> to`, if any.
+    pub(crate) fn gray_for(&self, from: SiteId, to: SiteId) -> Option<GraySpec> {
+        self.plan.gray_for(from, to)
     }
 }
 
@@ -334,6 +447,12 @@ pub struct RetryPolicy {
     pub base_backoff: Ticks,
     /// Backoff multiplier per subsequent attempt.
     pub multiplier: u32,
+    /// Upper bound on *consecutive* closed-circuit reopen-retries within
+    /// one engine call (reopening spends no attempt, so a flapping
+    /// circuit needs its own bound). Defaults to
+    /// [`MAX_CONSECUTIVE_REOPENS`](crate::MAX_CONSECUTIVE_REOPENS); chaos
+    /// suites tighten or loosen it per scenario.
+    pub max_reopens: u32,
 }
 
 impl Default for RetryPolicy {
@@ -344,17 +463,20 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             base_backoff: Ticks::millis(2),
             multiplier: 2,
+            max_reopens: crate::rpc::MAX_CONSECUTIVE_REOPENS,
         }
     }
 }
 
 impl RetryPolicy {
-    /// A policy that never retries.
+    /// A policy that never retries (the reopen bound keeps its default —
+    /// a reopen is not a retry).
     pub fn none() -> Self {
         RetryPolicy {
             max_attempts: 1,
             base_backoff: Ticks::ZERO,
             multiplier: 1,
+            max_reopens: crate::rpc::MAX_CONSECUTIVE_REOPENS,
         }
     }
 
@@ -452,6 +574,86 @@ mod tests {
         let rng_before = a.rng.clone().next_u64();
         assert_eq!(a.judge(SiteId(0), SiteId(1), "x"), Verdict::Deliver);
         assert_eq!(a.rng.clone().next_u64(), rng_before);
+    }
+
+    #[test]
+    fn gray_specs_are_directional() {
+        let plan = FaultPlan::new(0)
+            .slow_link(SiteId(0), SiteId(1), 4, Ticks::micros(50))
+            .block_direction(SiteId(2), SiteId(3));
+        let slow = plan.gray_for(SiteId(0), SiteId(1)).expect("installed");
+        assert!(slow.is_slow() && !slow.blocked);
+        assert_eq!(slow.inflate(Ticks::micros(100)), Ticks::micros(450));
+        assert_eq!(plan.gray_for(SiteId(1), SiteId(0)), None, "one-way");
+        assert!(plan.gray_for(SiteId(2), SiteId(3)).expect("blocked").blocked);
+        assert_eq!(plan.gray_for(SiteId(3), SiteId(2)), None, "one-way");
+    }
+
+    #[test]
+    fn flap_rate_one_always_aborts() {
+        let plan = FaultPlan::new(3).flap_site(SiteId(1), 1.0);
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..10 {
+            assert_eq!(inj.judge(SiteId(0), SiteId(1), "x"), Verdict::CircuitAbort);
+            assert_eq!(inj.judge(SiteId(1), SiteId(0), "x"), Verdict::CircuitAbort);
+        }
+        assert_eq!(
+            inj.judge(SiteId(0), SiteId(2), "x"),
+            Verdict::Deliver,
+            "messages not touching the flapping site are untouched"
+        );
+    }
+
+    #[test]
+    fn flap_roll_preserves_the_stream_of_flapless_plans() {
+        // A plan with probabilistic specs but no flapping sites must
+        // consume the exact RNG stream it consumed before flapping sites
+        // existed: three rolls per judged message (no circuit aborts).
+        let spec = FaultSpec {
+            drop: 0.3,
+            duplicate: 0.1,
+            delay_prob: 0.2,
+            delay: Ticks::micros(10),
+            ..Default::default()
+        };
+        let mut inj = FaultInjector::new(FaultPlan::new(77).default_spec(spec));
+        let mut reference = SimRng::seed_from_u64(77);
+        let mut verdicts = Vec::new();
+        for _ in 0..32 {
+            verdicts.push(inj.judge(SiteId(0), SiteId(1), "x"));
+            let (d, dup, del) = (
+                reference.gen_f64(),
+                reference.gen_f64(),
+                reference.gen_f64(),
+            );
+            let expect = if d < spec.drop {
+                Verdict::Drop
+            } else if dup < spec.duplicate {
+                Verdict::Duplicate
+            } else if del < spec.delay_prob {
+                Verdict::Delay(spec.delay)
+            } else {
+                Verdict::Deliver
+            };
+            assert_eq!(*verdicts.last().unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn flap_only_plans_roll_once_per_message() {
+        // With no probabilistic spec active, a flap-involved message
+        // consumes exactly one roll.
+        let mut inj = FaultInjector::new(FaultPlan::new(5).flap_site(SiteId(1), 0.5));
+        let mut reference = SimRng::seed_from_u64(5);
+        for _ in 0..32 {
+            let v = inj.judge(SiteId(0), SiteId(1), "x");
+            let expect = if reference.gen_f64() < 0.5 {
+                Verdict::CircuitAbort
+            } else {
+                Verdict::Deliver
+            };
+            assert_eq!(v, expect);
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod circuit;
 pub mod clock;
 pub mod fault;
+pub mod health;
 pub mod latency;
 pub mod obs;
 pub mod rpc;
@@ -38,14 +39,17 @@ use locus_types::{SiteId, Ticks};
 
 pub use circuit::CircuitTable;
 pub use clock::VirtualClock;
-pub use fault::{FaultAction, FaultPlan, FaultSpec, RetryPolicy, ScheduledFault, SimRng};
+pub use fault::{
+    FaultAction, FaultPlan, FaultSpec, GraySpec, RetryPolicy, ScheduledFault, SimRng,
+};
+pub use health::{HealthEvent, HealthMonitor, HealthPolicy, SiteHealth};
 pub use latency::LatencyModel;
 pub use obs::{
     audit, export_jsonl, parse_jsonl, render_op_stats, AuditReport, Histogram, ObsEvent, Observer,
     OpStat, SendOutcome,
 };
 pub use rpc::{RpcEngine, RpcError, WireMsg, MAX_CONSECUTIVE_REOPENS};
-pub use stats::{NetStats, ServiceStats};
+pub use stats::{LinkStats, NetStats, ServiceStats};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};
 
@@ -124,9 +128,31 @@ struct Inner {
     trace: Trace,
     obs: Observer,
     faults: FaultInjector,
+    health: HealthMonitor,
 }
 
 impl Inner {
+    /// Records a health transition as an observability note (quarantine
+    /// windows are what the trace auditor's isolation invariants replay).
+    fn note_health(&mut self, ev: Option<HealthEvent>) {
+        let Some(ev) = ev else { return };
+        let now = self.clock.now();
+        match ev {
+            HealthEvent::Quarantined(site, score) => {
+                self.obs.note(
+                    now,
+                    site,
+                    "health.quarantine",
+                    &format!("S{}", site.0),
+                    score as u64,
+                );
+            }
+            HealthEvent::Readmitted(site) => {
+                self.obs
+                    .note(now, site, "health.readmit", &format!("S{}", site.0), 0);
+            }
+        }
+    }
     /// Applies every scheduled fault event the virtual clock has passed.
     /// Called lazily on entry to the send and reachability paths, so
     /// crash/revive/flap schedules take effect exactly when simulated time
@@ -172,6 +198,7 @@ impl Net {
                 trace: Trace::new(),
                 obs: Observer::new(),
                 faults: FaultInjector::inert(),
+                health: HealthMonitor::new(),
             }),
         }
     }
@@ -266,17 +293,37 @@ impl Net {
         if from == to {
             return Err(NetError::SelfSend);
         }
+        // Gray-failure signals blame the remote conversation partner: the
+        // destination of a request, the *server* (sender) of a reply —
+        // the site a waiting requester would accuse of the silence.
+        let blame = if is_reply { from } else { to };
         if !g.topology.can_communicate(from, to) {
             g.circuits.close_pair(from, to);
             g.stats.record_failure(kind);
+            g.stats.record_link_fail(from, to);
             return Err(NetError::Unreachable);
         }
         if g.circuits.take_abort(from, to) {
             g.stats.record_failure(kind);
+            g.stats.record_link_fail(from, to);
+            // A reopen notice is a flap signal: it means the previous
+            // conversation on this pair died mid-flight.
+            let ev = g.health.observe_fault(blame);
+            g.note_health(ev);
             return Err(NetError::CircuitClosed);
         }
         g.circuits.ensure_open(from, to);
-        let verdict = g.faults.judge(from, to, kind);
+        let mut verdict = g.faults.judge(from, to, kind);
+        let gray = g.faults.gray_for(from, to);
+        if let Some(gs) = gray {
+            // A one-directional block silently loses everything in this
+            // direction (asymmetric reachability) — unless the circuit
+            // already aborted before the message reached the wire.
+            if gs.blocked && verdict != Verdict::CircuitAbort {
+                g.stats.record_link_blocked(from, to);
+                verdict = Verdict::Drop;
+            }
+        }
         if verdict == Verdict::CircuitAbort {
             // The virtual circuit fails before the message reaches the
             // wire (§5.1): no transmission latency, the pair's circuit is
@@ -284,6 +331,9 @@ impl Net {
             g.circuits.close_pair(from, to);
             g.stats.circuits_closed += 1;
             g.stats.record_failure(kind);
+            g.stats.record_link_fail(from, to);
+            let ev = g.health.observe_fault(blame);
+            g.note_health(ev);
             return Err(NetError::CircuitClosed);
         }
         // The message reaches the wire in every remaining verdict: the
@@ -293,10 +343,17 @@ impl Net {
             cost += extra;
             g.stats.record_delay(kind);
         }
+        if let Some(gs) = gray {
+            if gs.is_slow() {
+                cost = gs.inflate(cost);
+                g.stats.record_link_slowed(from, to);
+            }
+        }
         g.clock.advance(cost);
         let now = g.clock.now();
         if verdict == Verdict::Drop {
             g.stats.record_drop(kind);
+            g.stats.record_link_drop(from, to);
             if let Some(s) = service {
                 g.stats.record_service_drop(s);
             }
@@ -308,6 +365,8 @@ impl Net {
                 bytes,
                 dropped: true,
             });
+            let ev = g.health.observe_fault(blame);
+            g.note_health(ev);
             return if is_reply {
                 g.circuits.abort_pair(from, to);
                 g.stats.circuits_closed += 1;
@@ -317,9 +376,12 @@ impl Net {
             };
         }
         g.stats.record(kind, bytes);
+        g.stats.record_link_send(from, to, bytes);
         if let Some(s) = service {
             g.stats.record_service_send(s, bytes);
         }
+        let ev = g.health.observe_success(from, to, blame, cost);
+        g.note_health(ev);
         g.trace.record(TraceEvent {
             at: now,
             from,
@@ -370,7 +432,7 @@ impl Net {
                     // lost reply (§5.1), not a wire transmission; reopening
                     // is immediate and spends no attempt — but a link that
                     // flaps on every reopen must not spin forever.
-                    if reopens >= rpc::MAX_CONSECUTIVE_REOPENS {
+                    if reopens >= policy.max_reopens {
                         return Err(NetError::CircuitClosed);
                     }
                     reopens += 1;
@@ -680,6 +742,62 @@ impl Net {
     pub fn open_circuits(&self) -> usize {
         self.inner.borrow().circuits.open_count()
     }
+
+    /// Enables the passive gray-failure health monitor with `policy`,
+    /// resetting any previous scores. The monitor consumes only signals
+    /// the network layer already produces (send outcomes, per-message
+    /// latency) — no probes, no clock charges, no RNG rolls — so enabling
+    /// it never perturbs a deterministic schedule ("observability must
+    /// stay free").
+    pub fn enable_health(&self, policy: HealthPolicy) {
+        self.inner.borrow_mut().health.enable(policy);
+    }
+
+    /// Whether the health monitor is enabled.
+    pub fn health_enabled(&self) -> bool {
+        self.inner.borrow().health.enabled()
+    }
+
+    /// Whether `site` is currently isolated by the health monitor
+    /// (quarantined or still on probation). Quarantined sites must be
+    /// skipped for CSS eligibility and replica reads; always `false`
+    /// while the monitor is disabled.
+    pub fn quarantined(&self, site: SiteId) -> bool {
+        self.inner.borrow().health.quarantined(site)
+    }
+
+    /// The health state of `site` as scored by the monitor.
+    pub fn site_health(&self, site: SiteId) -> SiteHealth {
+        self.inner.borrow().health.state(site)
+    }
+
+    /// The current suspicion score of `site` (0 = fully healthy).
+    pub fn health_score(&self, site: SiteId) -> u32 {
+        self.inner.borrow().health.score(site)
+    }
+
+    /// Snapshot of every site the monitor has scored, in site order.
+    pub fn health_snapshot(&self) -> Vec<(SiteId, SiteHealth, u32)> {
+        self.inner.borrow().health.snapshot()
+    }
+
+    /// Moves a quarantined site to probation: the recovery layer calls
+    /// this before issuing probe traffic. The site stays isolated
+    /// ([`Net::quarantined`] remains true) until the policy's required
+    /// count of consecutive clean probes readmits it; any fault during
+    /// probation silently re-quarantines. Returns whether the transition
+    /// happened (false if the site was not quarantined).
+    pub fn begin_probation(&self, site: SiteId) -> bool {
+        let mut g = self.inner.borrow_mut();
+        if g.health.begin_probation(site) {
+            let now = g.clock.now();
+            g.obs
+                .note(now, site, "health.probation", &format!("S{}", site.0), 0);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 #[cfg(test)]
@@ -877,6 +995,105 @@ mod tests {
         assert!(!net.reachable(SiteId(0), SiteId(1)));
         net.charge_timeout(Ticks::millis(2));
         assert!(net.reachable(SiteId(0), SiteId(1)), "link restored");
+    }
+
+    #[test]
+    fn one_directional_slow_link_inflates_only_that_direction() {
+        let net = Net::new(2);
+        net.install_faults(FaultPlan::new(0).slow_link(
+            SiteId(0),
+            SiteId(1),
+            8,
+            Ticks::micros(200),
+        ));
+        let t0 = net.now();
+        net.send(SiteId(0), SiteId(1), "x", 64).unwrap();
+        let slow = net.now() - t0;
+        let t1 = net.now();
+        net.send(SiteId(1), SiteId(0), "x", 64).unwrap();
+        let fast = net.now() - t1;
+        assert!(
+            slow > fast,
+            "gray direction {slow:?} must cost more than clean reverse {fast:?}"
+        );
+        let stats = net.stats();
+        assert_eq!(stats.link(SiteId(0), SiteId(1)).slowed, 1);
+        assert_eq!(stats.link(SiteId(1), SiteId(0)).slowed, 0);
+    }
+
+    #[test]
+    fn blocked_direction_drops_while_reverse_delivers() {
+        // Asymmetric reachability: 0→1 silently loses everything, 1→0 is
+        // untouched — the case the §5.1 transitive topology cannot express.
+        let net = Net::new(2);
+        net.install_faults(FaultPlan::new(0).block_direction(SiteId(0), SiteId(1)));
+        assert_eq!(net.send(SiteId(0), SiteId(1), "x", 8), Err(NetError::Dropped));
+        assert!(net.send(SiteId(1), SiteId(0), "x", 8).is_ok());
+        let stats = net.stats();
+        assert_eq!(stats.link(SiteId(0), SiteId(1)).blocked, 1);
+        assert_eq!(stats.link(SiteId(1), SiteId(0)).blocked, 0);
+        assert_eq!(stats.link(SiteId(1), SiteId(0)).sends, 1);
+    }
+
+    #[test]
+    fn blocked_reply_direction_aborts_the_circuit() {
+        let net = Net::new(2);
+        net.send(SiteId(0), SiteId(1), "req", 8).unwrap();
+        net.install_faults(FaultPlan::new(0).block_direction(SiteId(1), SiteId(0)));
+        assert_eq!(
+            net.send_reply(SiteId(1), SiteId(0), "resp", 8),
+            Err(NetError::ReplyLost)
+        );
+        assert_eq!(net.open_circuits(), 0);
+    }
+
+    #[test]
+    fn health_monitor_quarantines_a_gray_site_via_send_outcomes() {
+        let net = Net::new(3);
+        net.enable_health(HealthPolicy::default());
+        let gray = SiteId(2);
+        net.install_faults(FaultPlan::new(0).block_direction(SiteId(0), gray));
+        let policy = HealthPolicy::default();
+        let need = policy.quarantine_score.div_ceil(policy.fault_penalty);
+        for _ in 0..need {
+            let _ = net.send(SiteId(0), gray, "x", 8);
+        }
+        assert!(net.quarantined(gray), "drops blamed on the destination");
+        assert_eq!(net.site_health(gray), SiteHealth::Quarantined);
+        assert!(!net.quarantined(SiteId(0)), "the sender is not blamed");
+        // Quarantine and readmission leave an audit trail in obs notes.
+        net.clear_faults();
+        assert!(net.begin_probation(gray));
+        assert!(net.quarantined(gray), "probation is still isolation");
+        for _ in 0..policy.probation_probes {
+            net.send(SiteId(0), gray, "probe", 8).unwrap();
+        }
+        assert!(!net.quarantined(gray), "clean probes readmit");
+        assert_eq!(net.site_health(gray), SiteHealth::Healthy);
+    }
+
+    #[test]
+    fn disabled_health_monitor_never_isolates() {
+        let net = Net::new(2);
+        net.install_faults(FaultPlan::new(0).default_spec(FaultSpec::drop_rate(1.0)));
+        for _ in 0..64 {
+            let _ = net.send(SiteId(0), SiteId(1), "x", 8);
+        }
+        assert!(!net.quarantined(SiteId(1)));
+        assert_eq!(net.health_score(SiteId(1)), 0);
+    }
+
+    #[test]
+    fn flapping_site_aborts_circuits_probabilistically() {
+        let net = Net::new(2);
+        net.enable_health(HealthPolicy::default());
+        net.install_faults(FaultPlan::new(42).flap_site(SiteId(1), 1.0));
+        assert_eq!(
+            net.send(SiteId(0), SiteId(1), "x", 8),
+            Err(NetError::CircuitClosed)
+        );
+        assert_eq!(net.stats().link(SiteId(0), SiteId(1)).fails, 1);
+        assert!(net.health_score(SiteId(1)) > 0, "flap blamed on the flapper");
     }
 
     #[test]

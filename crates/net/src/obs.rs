@@ -1072,6 +1072,13 @@ struct SpanAudit {
 ///    one delivery or exactly one recorded loss, never both, never
 ///    neither.
 /// 6. **Span hygiene** — closes match opens and nothing is left open.
+/// 7. **CSS-epoch monotonicity** — `css.claim` notes for one filegroup
+///    carry strictly increasing epochs: at most one site claims the
+///    synchronization role per epoch, and the role never rolls backwards.
+/// 8. **Quarantine isolation** — no `commit.begin` is emitted at a site
+///    inside a `health.quarantine` … `health.readmit` window: a site the
+///    health monitor has isolated for gray failure must not acknowledge
+///    commits.
 pub fn audit(events: &[ObsEvent]) -> AuditReport {
     let mut report = AuditReport {
         events: events.len() as u64,
@@ -1084,6 +1091,10 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
     let mut open_spans: BTreeMap<u64, String> = BTreeMap::new();
     // Object label -> version-vector total being committed.
     let mut open_commits: BTreeMap<String, u64> = BTreeMap::new();
+    // Filegroup label -> newest CSS-claim epoch seen.
+    let mut css_epochs: BTreeMap<String, u64> = BTreeMap::new();
+    // Sites currently inside a quarantine window.
+    let mut quarantined: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
 
     for ev in events {
         match ev {
@@ -1237,6 +1248,7 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
             }
             ObsEvent::Note {
                 at,
+                site,
                 key,
                 label,
                 value,
@@ -1246,17 +1258,45 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
                 // The guards carry the bookkeeping (insert/remove) so it
                 // runs whether or not the arm reports a violation.
                 match key.as_str() {
-                    "commit.begin" if open_commits.insert(label.clone(), *value).is_some() => {
-                        report.violations.push(format!(
-                            "t={}: nested commit.begin for `{label}`",
-                            at
-                        ));
+                    "commit.begin" => {
+                        if quarantined.contains(&site.0) {
+                            report.violations.push(format!(
+                                "t={}: commit.begin for `{label}` at quarantined \
+                                 site {site} (isolation breached)",
+                                at
+                            ));
+                        }
+                        if open_commits.insert(label.clone(), *value).is_some() {
+                            report.violations.push(format!(
+                                "t={}: nested commit.begin for `{label}`",
+                                at
+                            ));
+                        }
                     }
                     "commit.end" if open_commits.remove(label).is_none() => {
                         report.violations.push(format!(
                             "t={}: commit.end for `{label}` without commit.begin",
                             at
                         ));
+                    }
+                    "css.claim" => {
+                        let prev = css_epochs.get(label).copied();
+                        if prev.is_some_and(|p| *value <= p) {
+                            report.violations.push(format!(
+                                "t={}: css.claim for `{label}` epoch {value} does not \
+                                 exceed prior epoch {} (at most one CSS per epoch)",
+                                at,
+                                prev.unwrap_or(0)
+                            ));
+                        } else {
+                            css_epochs.insert(label.clone(), *value);
+                        }
+                    }
+                    "health.quarantine" => {
+                        quarantined.insert(site.0);
+                    }
+                    "health.readmit" => {
+                        quarantined.remove(&site.0);
                     }
                     "read.page" => {
                         if let Some(&committing) = open_commits.get(label) {
@@ -1486,6 +1526,80 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("never answered")));
+    }
+
+    fn note(at: u64, site: u32, key: &str, label: &str, value: u64) -> ObsEvent {
+        ObsEvent::Note {
+            span: 0,
+            at: Ticks::micros(at),
+            site: SiteId(site),
+            key: key.into(),
+            label: label.into(),
+            value,
+        }
+    }
+
+    #[test]
+    fn audit_rejects_nonmonotone_css_claim() {
+        // Two claims with increasing epochs are fine…
+        let ok = vec![
+            note(1, 1, "css.claim", "fg0", 1),
+            note(2, 2, "css.claim", "fg0", 2),
+            note(3, 1, "css.claim", "fg1", 1), // other filegroup: own counter
+        ];
+        assert!(audit(&ok).is_clean());
+        // …but a duplicate or stale epoch means two sites claimed the same
+        // epoch, which the handoff protocol must never allow.
+        let dup = vec![
+            note(1, 1, "css.claim", "fg0", 3),
+            note(2, 2, "css.claim", "fg0", 3),
+        ];
+        let report = audit(&dup);
+        assert!(!report.is_clean());
+        assert!(
+            report.violations[0].contains("one CSS per epoch"),
+            "got: {:?}",
+            report.violations
+        );
+        let stale = vec![
+            note(1, 1, "css.claim", "fg0", 5),
+            note(2, 2, "css.claim", "fg0", 4),
+        ];
+        assert!(!audit(&stale).is_clean());
+    }
+
+    #[test]
+    fn audit_rejects_commit_at_quarantined_site() {
+        // A commit bracketed inside another site's quarantine window is
+        // fine; the same bracket at the quarantined site itself is the
+        // isolation breach the invariant exists to catch.
+        let ok = vec![
+            note(1, 2, "health.quarantine", "S2", 40),
+            note(2, 1, "commit.begin", "0:5", 1),
+            note(3, 1, "commit.end", "0:5", 1),
+            note(4, 2, "health.readmit", "S2", 0),
+        ];
+        assert!(audit(&ok).is_clean(), "{:?}", audit(&ok).violations);
+        let breach = vec![
+            note(1, 2, "health.quarantine", "S2", 40),
+            note(2, 2, "commit.begin", "0:5", 1),
+            note(3, 2, "commit.end", "0:5", 1),
+        ];
+        let report = audit(&breach);
+        assert!(!report.is_clean());
+        assert!(
+            report.violations[0].contains("quarantined"),
+            "got: {:?}",
+            report.violations
+        );
+        // After readmission the site may commit again.
+        let readmitted = vec![
+            note(1, 2, "health.quarantine", "S2", 40),
+            note(2, 2, "health.readmit", "S2", 0),
+            note(3, 2, "commit.begin", "0:5", 1),
+            note(4, 2, "commit.end", "0:5", 1),
+        ];
+        assert!(audit(&readmitted).is_clean());
     }
 
     #[test]

@@ -29,11 +29,12 @@ use locus_types::SiteId;
 
 use crate::{Net, NetError, RetryPolicy};
 
-/// Upper bound on *consecutive* `CircuitClosed` reopen-retries within one
-/// engine call. Reopening spends no [`RetryPolicy`] attempt (the notice
-/// is local knowledge, §5.1), so without a bound a circuit that fails on
-/// every reopen — a flapping link — would spin the sender forever. The
-/// counter resets whenever a send actually reaches the wire.
+/// Default upper bound on *consecutive* `CircuitClosed` reopen-retries
+/// within one engine call (the default for [`RetryPolicy::max_reopens`]).
+/// Reopening spends no [`RetryPolicy`] attempt (the notice is local
+/// knowledge, §5.1), so without a bound a circuit that fails on every
+/// reopen — a flapping link — would spin the sender forever. The counter
+/// resets whenever a send actually reaches the wire.
 pub const MAX_CONSECUTIVE_REOPENS: u32 = 16;
 
 /// A typed wire protocol message a subsystem hands to the [`RpcEngine`].
@@ -195,7 +196,7 @@ impl RpcEngine {
                     // is local knowledge, not a wire transmission:
                     // acknowledge it and reopen immediately, without
                     // spending an attempt — but never unboundedly.
-                    if reopens >= MAX_CONSECUTIVE_REOPENS {
+                    if reopens >= self.policy.max_reopens {
                         return Err(RpcError::CircuitFlapping);
                     }
                     reopens += 1;
@@ -289,7 +290,7 @@ impl RpcEngine {
             match sent {
                 Ok(()) => return Ok(serve(msg)),
                 Err(NetError::CircuitClosed) => {
-                    if reopens >= MAX_CONSECUTIVE_REOPENS {
+                    if reopens >= self.policy.max_reopens {
                         net.record_one_way_loss(M::SERVICE, kind);
                         net.obs_one_way_loss(span, kind);
                         return Err(RpcError::CircuitFlapping);
@@ -512,7 +513,7 @@ mod tests {
         let engine = RpcEngine::new(RetryPolicy {
             max_attempts: 16,
             base_backoff: Ticks::millis(1),
-            multiplier: 2,
+            ..RetryPolicy::default()
         });
         for _ in 0..40 {
             engine
@@ -583,7 +584,7 @@ mod tests {
         let engine = RpcEngine::new(RetryPolicy {
             max_attempts: 8,
             base_backoff: Ticks::millis(1),
-            multiplier: 2,
+            ..RetryPolicy::default()
         });
         for i in 0..60u32 {
             let from = SiteId(i % 3);

@@ -7,6 +7,32 @@
 
 use std::collections::BTreeMap;
 
+use locus_types::SiteId;
+
+/// One row of the per-directed-link accounting table.
+///
+/// The per-service and per-kind tables aggregate both directions of a
+/// link, which is exactly wrong for *gray* faults: a one-directional
+/// slow link or block hits `A -> B` while `B -> A` stays clean. These
+/// counters are keyed by ordered `(from, to)` so the health monitor and
+/// the chaos suites can attribute a gray fault to the direction that
+/// actually suffered it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Successful sends in this direction.
+    pub sends: u64,
+    /// Bytes carried by those sends.
+    pub bytes: u64,
+    /// Injected drops of messages in this direction.
+    pub drops: u64,
+    /// Failed sends (unreachable destination or circuit abort).
+    pub fails: u64,
+    /// Sends whose latency was inflated by a gray slow link.
+    pub slowed: u64,
+    /// Sends silently lost to a gray one-directional block.
+    pub blocked: u64,
+}
+
 /// One row of the per-service wire-accounting table: every message the
 /// [`crate::rpc::RpcEngine`] moves is tagged with its originating service
 /// (`"fs"`, `"proc"`, `"topology"`, `"recovery"`), so each subsystem's
@@ -37,6 +63,7 @@ pub struct NetStats {
     retries: BTreeMap<&'static str, u64>,
     losses: BTreeMap<&'static str, u64>,
     services: BTreeMap<&'static str, ServiceStats>,
+    links: BTreeMap<(SiteId, SiteId), LinkStats>,
     /// Circuits closed by partition changes or crashes.
     pub circuits_closed: u64,
 }
@@ -103,6 +130,34 @@ impl NetStats {
         self.services.entry(service).or_default().retries += 1;
     }
 
+    /// Records a successful send on the directed link `from -> to`.
+    pub fn record_link_send(&mut self, from: SiteId, to: SiteId, bytes: usize) {
+        let row = self.links.entry((from, to)).or_default();
+        row.sends += 1;
+        row.bytes += bytes as u64;
+    }
+
+    /// Records an injected drop on the directed link.
+    pub fn record_link_drop(&mut self, from: SiteId, to: SiteId) {
+        self.links.entry((from, to)).or_default().drops += 1;
+    }
+
+    /// Records a failed send (unreachable or circuit abort) on the
+    /// directed link.
+    pub fn record_link_fail(&mut self, from: SiteId, to: SiteId) {
+        self.links.entry((from, to)).or_default().fails += 1;
+    }
+
+    /// Records a gray slow-link latency inflation on the directed link.
+    pub fn record_link_slowed(&mut self, from: SiteId, to: SiteId) {
+        self.links.entry((from, to)).or_default().slowed += 1;
+    }
+
+    /// Records a gray one-directional block on the directed link.
+    pub fn record_link_blocked(&mut self, from: SiteId, to: SiteId) {
+        self.links.entry((from, to)).or_default().blocked += 1;
+    }
+
     /// Successful sends of `kind`.
     pub fn sends(&self, kind: &str) -> u64 {
         self.sends.get(kind).copied().unwrap_or(0)
@@ -146,6 +201,16 @@ impl NetStats {
     /// Iterates the per-service table sorted by service name.
     pub fn services(&self) -> impl Iterator<Item = (&'static str, ServiceStats)> + '_ {
         self.services.iter().map(|(&s, &row)| (s, row))
+    }
+
+    /// The accounting row of one directed link (zeros if never used).
+    pub fn link(&self, from: SiteId, to: SiteId) -> LinkStats {
+        self.links.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Iterates the per-directed-link table in key order.
+    pub fn links(&self) -> impl Iterator<Item = ((SiteId, SiteId), LinkStats)> + '_ {
+        self.links.iter().map(|(&k, &row)| (k, row))
     }
 
     /// Total injected drops across all kinds.
@@ -207,6 +272,38 @@ impl NetStats {
     /// Sum of one delta table's counts across all kinds.
     pub fn delta_total(delta: &BTreeMap<&'static str, u64>) -> u64 {
         delta.values().sum()
+    }
+
+    /// Per-directed-link drop difference against an earlier snapshot
+    /// (see [`NetStats::delta_drops`] for why deltas, not totals).
+    pub fn delta_link_drops(&self, earlier: &NetStats) -> BTreeMap<(SiteId, SiteId), u64> {
+        Self::diff_links(&self.links, &earlier.links, |l| l.drops)
+    }
+
+    /// Per-directed-link slow-inflation difference against an earlier
+    /// snapshot.
+    pub fn delta_link_slowed(&self, earlier: &NetStats) -> BTreeMap<(SiteId, SiteId), u64> {
+        Self::diff_links(&self.links, &earlier.links, |l| l.slowed)
+    }
+
+    /// Per-directed-link block difference against an earlier snapshot.
+    pub fn delta_link_blocked(&self, earlier: &NetStats) -> BTreeMap<(SiteId, SiteId), u64> {
+        Self::diff_links(&self.links, &earlier.links, |l| l.blocked)
+    }
+
+    fn diff_links(
+        now: &BTreeMap<(SiteId, SiteId), LinkStats>,
+        earlier: &BTreeMap<(SiteId, SiteId), LinkStats>,
+        field: impl Fn(&LinkStats) -> u64,
+    ) -> BTreeMap<(SiteId, SiteId), u64> {
+        let mut out = BTreeMap::new();
+        for (&k, row) in now {
+            let d = field(row) - earlier.get(&k).map(&field).unwrap_or(0);
+            if d > 0 {
+                out.insert(k, d);
+            }
+        }
+        out
     }
 
     fn diff(
@@ -290,6 +387,49 @@ mod tests {
         assert_eq!(d.get("OPEN req"), Some(&1));
         assert_eq!(d.get("OPEN resp"), Some(&1));
         assert_eq!(d.len(), 2);
+    }
+
+    /// Regression: gray faults are one-directional, and the per-service
+    /// and per-kind tables aggregate both directions of a link. The
+    /// directed-link table must keep `A -> B` separate from `B -> A`.
+    #[test]
+    fn link_table_attributes_directions_separately() {
+        let mut s = NetStats::new();
+        let (a, b) = (SiteId(0), SiteId(1));
+        s.record_link_send(a, b, 64);
+        s.record_link_send(b, a, 32);
+        s.record_link_drop(a, b);
+        s.record_link_blocked(a, b);
+        s.record_link_slowed(b, a);
+        s.record_link_fail(b, a);
+        assert_eq!(s.link(a, b).sends, 1);
+        assert_eq!(s.link(a, b).bytes, 64);
+        assert_eq!(s.link(a, b).drops, 1);
+        assert_eq!(s.link(a, b).blocked, 1);
+        assert_eq!(s.link(a, b).slowed, 0, "the slow fault hit b -> a");
+        assert_eq!(s.link(b, a).slowed, 1);
+        assert_eq!(s.link(b, a).fails, 1);
+        assert_eq!(s.link(b, a).drops, 0, "the drop hit a -> b");
+        assert_eq!(s.link(SiteId(2), a), LinkStats::default());
+        assert_eq!(s.links().count(), 2);
+    }
+
+    #[test]
+    fn link_deltas_exclude_earlier_faults() {
+        let mut s = NetStats::new();
+        let (a, b) = (SiteId(0), SiteId(1));
+        s.record_link_drop(a, b);
+        s.record_link_slowed(a, b);
+        let snap = s.clone();
+        s.record_link_drop(a, b);
+        s.record_link_slowed(b, a);
+        s.record_link_blocked(b, a);
+        let drops = s.delta_link_drops(&snap);
+        assert_eq!(drops.get(&(a, b)), Some(&1), "only the new drop");
+        let slowed = s.delta_link_slowed(&snap);
+        assert_eq!(slowed.get(&(a, b)), None, "setup inflation excluded");
+        assert_eq!(slowed.get(&(b, a)), Some(&1));
+        assert_eq!(s.delta_link_blocked(&snap).get(&(b, a)), Some(&1));
     }
 
     /// Regression: per-operation drop/retry figures used to be computed

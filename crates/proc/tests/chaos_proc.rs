@@ -47,7 +47,7 @@ fn cluster() -> (FsCluster, ProcMgr) {
     fsc.set_retry_policy(RetryPolicy {
         max_attempts: 12,
         base_backoff: Ticks::millis(1),
-        multiplier: 2,
+        ..RetryPolicy::default()
     });
     (fsc, ProcMgr::new())
 }

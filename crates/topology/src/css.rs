@@ -19,6 +19,24 @@ pub fn select_css(partition: &BTreeSet<SiteId>, container_sites: &[SiteId]) -> O
         .find(|s| container_sites.contains(s))
 }
 
+/// Like [`select_css`], but prefers container members outside `excluded`
+/// (the gray-failure quarantine list): the lowest-numbered non-excluded
+/// container member wins. If *every* container member in the partition is
+/// excluded, the choice falls back to the plain [`select_css`] answer —
+/// the filegroup stays served by a degraded site rather than going dark,
+/// availability over isolation.
+pub fn select_css_excluding(
+    partition: &BTreeSet<SiteId>,
+    container_sites: &[SiteId],
+    excluded: &BTreeSet<SiteId>,
+) -> Option<SiteId> {
+    partition
+        .iter()
+        .copied()
+        .find(|s| container_sites.contains(s) && !excluded.contains(s))
+        .or_else(|| select_css(partition, container_sites))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,6 +54,43 @@ mod tests {
     #[test]
     fn no_container_in_partition_means_inaccessible() {
         assert_eq!(select_css(&set(&[4, 5]), &[SiteId(0), SiteId(1)]), None);
+    }
+
+    #[test]
+    fn exclusion_skips_quarantined_containers() {
+        let p = set(&[0, 1, 2]);
+        let containers = [SiteId(0), SiteId(1), SiteId(2)];
+        // Healthy choice: lowest container member.
+        assert_eq!(
+            select_css_excluding(&p, &containers, &set(&[])),
+            Some(SiteId(0))
+        );
+        // Quarantining the default pick moves the role to the next member.
+        assert_eq!(
+            select_css_excluding(&p, &containers, &set(&[0])),
+            Some(SiteId(1))
+        );
+        assert_eq!(
+            select_css_excluding(&p, &containers, &set(&[0, 1])),
+            Some(SiteId(2))
+        );
+    }
+
+    #[test]
+    fn all_excluded_falls_back_to_degraded_choice() {
+        let p = set(&[0, 1]);
+        let containers = [SiteId(0), SiteId(1)];
+        // Availability over isolation: a fully-quarantined container set
+        // still yields a CSS rather than making the filegroup inaccessible.
+        assert_eq!(
+            select_css_excluding(&p, &containers, &set(&[0, 1])),
+            Some(SiteId(0))
+        );
+        // But a partition with no container at all stays inaccessible.
+        assert_eq!(
+            select_css_excluding(&set(&[4]), &containers, &set(&[])),
+            None
+        );
     }
 
     #[test]

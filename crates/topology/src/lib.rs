@@ -35,7 +35,7 @@ pub mod proto;
 pub mod sync;
 
 pub use cleanup::{failure_action, FailureAction, ResourceSituation};
-pub use css::select_css;
+pub use css::{select_css, select_css_excluding};
 pub use merge::{merge_protocol, MergeOutcome, MergeTimeouts};
 pub use partition::{partition_protocol, PartitionOutcome};
 pub use proto::TopoMsg;
