@@ -8,18 +8,21 @@
 //!
 //! * keys ending in `_msgs` or `_us` may not grow more than 5%;
 //! * keys ending in `_ratio` may not shrink more than 5%;
+//! * keys ending in `_tput` (throughputs) may not shrink more than the
+//!   relative tolerance, settable with `--rel-tol=<frac>` (default
+//!   0.05, i.e. 5%);
 //! * every baseline key must be present in the measured report.
 //!
-//! With `BENCH_STRICT=1` the tolerances collapse to exact equality:
-//! every numeric key must match its baseline bit-for-bit. That is the
-//! determinism gate — the benches run with the gray-failure health
-//! monitor enabled, so a strict pass also proves health tracking is
-//! free on the healthy path.
+//! With `BENCH_STRICT=1` the tolerances (including `--rel-tol`)
+//! collapse to exact equality: every numeric key must match its
+//! baseline bit-for-bit. That is the determinism gate — the benches run
+//! with the gray-failure health monitor enabled, so a strict pass also
+//! proves health tracking is free on the healthy path.
 //!
-//! Run with `cargo run -p locus-bench --bin bench_guard [-- names...]`
-//! (default: `e1 e3 e12`). Reads measured reports from `$BENCH_OUT_DIR`
-//! or `target/bench`, baselines from `$BENCH_BASELINE_DIR` or
-//! `crates/bench/baselines`.
+//! Run with `cargo run -p locus-bench --bin bench_guard --
+//! [--rel-tol=<frac>] [names...]` (default: `e1 e3 e12 e13`). Reads
+//! measured reports from `$BENCH_OUT_DIR` or `target/bench`, baselines
+//! from `$BENCH_BASELINE_DIR` or `crates/bench/baselines`.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -56,7 +59,13 @@ fn load(path: &Path) -> Result<BTreeMap<String, Option<f64>>, String> {
     Ok(parsed)
 }
 
-fn check(name: &str, measured_dir: &Path, baseline_dir: &Path, strict: bool) -> Vec<String> {
+fn check(
+    name: &str,
+    measured_dir: &Path,
+    baseline_dir: &Path,
+    strict: bool,
+    rel_tol: f64,
+) -> Vec<String> {
     let file = format!("BENCH_{name}.json");
     let baseline = match load(&baseline_dir.join(&file)) {
         Ok(b) => b,
@@ -91,20 +100,39 @@ fn check(name: &str, measured_dir: &Path, baseline_dir: &Path, strict: bool) -> 
             problems.push(format!(
                 "{name}: {key} regressed: {got} < baseline {base} (-5% allowed)"
             ));
+        } else if key.ends_with("_tput") && *got < base * (1.0 - rel_tol) {
+            problems.push(format!(
+                "{name}: {key} regressed: {got} < baseline {base} (-{:.0}% allowed)",
+                rel_tol * 100.0
+            ));
         }
     }
     problems
 }
 
 fn main() -> ExitCode {
-    let names: Vec<String> = {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        if args.is_empty() {
-            vec!["e1".into(), "e3".into(), "e12".into()]
+    // Flags first, then bare report names.
+    let mut rel_tol = 0.05f64;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--rel-tol=") {
+            match v.parse::<f64>() {
+                Ok(t) if (0.0..1.0).contains(&t) => rel_tol = t,
+                _ => {
+                    eprintln!("bench_guard: --rel-tol wants a fraction in [0, 1), got {v}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("bench_guard: unknown flag {arg}");
+            return ExitCode::FAILURE;
         } else {
-            args
+            names.push(arg);
         }
-    };
+    }
+    if names.is_empty() {
+        names = vec!["e1".into(), "e3".into(), "e12".into(), "e13".into()];
+    }
     let measured_dir = std::env::var_os("BENCH_OUT_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/bench"));
@@ -116,7 +144,7 @@ fn main() -> ExitCode {
 
     let mut problems = Vec::new();
     for name in &names {
-        problems.extend(check(name, &measured_dir, &baseline_dir, strict));
+        problems.extend(check(name, &measured_dir, &baseline_dir, strict, rel_tol));
     }
     if problems.is_empty() {
         let mode = if strict { "identical to" } else { "within" };

@@ -182,12 +182,20 @@ fn main() {
 
     let stats = cached.fs().cache_stats();
     println!(
-        "\nname cache: dentry {}/{} hits, attr {}/{} hits, {} invalidations",
+        "\nname cache: dentry {}/{} hits, attr {}/{} hits, {} invalidations, {} dentry deep copies",
         stats.dentry_hits,
         stats.dentry_hits + stats.dentry_misses,
         stats.attr_hits,
         stats.attr_hits + stats.attr_misses,
-        stats.name_invalidations
+        stats.name_invalidations,
+        stats.dir_deep_copies
+    );
+    // A VV-validated hit serves the shared parsed directory; only a fill
+    // materializes dentry state. Pinning copies == misses in the
+    // baseline keeps the hit path allocation-free for good.
+    assert_eq!(
+        stats.dir_deep_copies, stats.dentry_misses,
+        "cache hits must not re-derive directory dentry state"
     );
 
     report
@@ -202,6 +210,7 @@ fn main() {
         .int("attr_hits", stats.attr_hits)
         .int("attr_misses", stats.attr_misses)
         .int("name_invalidations", stats.name_invalidations)
+        .int("dir_deep_copies", stats.dir_deep_copies)
         .float("dentry_hit_ratio", stats.dentry_hit_ratio())
         .float("attr_hit_ratio", stats.attr_hit_ratio());
 

@@ -9,7 +9,7 @@ use locus_fs::device::{DeviceKind, DeviceState};
 use locus_fs::mailbox::Mailbox;
 use locus_fs::ops::{fd as fsfd, namei};
 use locus_fs::proto::Fd;
-use locus_fs::FsCluster;
+use locus_fs::{FsCluster, PlacementDriver, PlacementPolicy, PlacementReport};
 use locus_net::{LatencyModel, Net};
 use locus_proc::{ExitStatus, ProcError, ProcMgr, Signal};
 use locus_topology::MergeTimeouts;
@@ -46,6 +46,18 @@ impl ClusterBuilder {
     /// Registers a filegroup mounted at `path`.
     pub fn filegroup_mounted(mut self, name: &str, container_sites: &[u32], path: &str) -> Self {
         self.inner = self.inner.filegroup_mounted(name, container_sites, path);
+        self
+    }
+
+    /// Pins the initial CSS of the last-registered filegroup.
+    pub fn css_at(mut self, site: u32) -> Self {
+        self.inner = self.inner.css_at(site);
+        self
+    }
+
+    /// Overrides the per-filegroup inode-number space.
+    pub fn inos_per_fg(mut self, n: u32) -> Self {
+        self.inner = self.inner.inos_per_fg(n);
         self
     }
 
@@ -87,6 +99,7 @@ impl ClusterBuilder {
             beliefs: RefCell::new(beliefs),
             prev_up: RefCell::new(all),
             merge_timeouts: MergeTimeouts::default(),
+            placement: RefCell::new(None),
         }
     }
 }
@@ -103,6 +116,8 @@ pub struct Cluster {
     pub(crate) prev_up: RefCell<BTreeSet<SiteId>>,
     /// Merge-protocol timeout policy (§5.5).
     pub merge_timeouts: MergeTimeouts,
+    /// Adaptive CSS placement driver, when enabled.
+    pub(crate) placement: RefCell<Option<PlacementDriver>>,
 }
 
 impl Cluster {
@@ -145,6 +160,38 @@ impl Cluster {
     /// Drains background propagation work.
     pub fn settle(&self) {
         self.fsc.settle();
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive CSS placement
+    // ------------------------------------------------------------------
+
+    /// Enables adaptive CSS placement with the given policy. Subsequent
+    /// [`balance_css`](Self::balance_css) calls sample synchronization
+    /// load and migrate overloaded or gray-failing roles.
+    pub fn enable_placement(&self, policy: PlacementPolicy) {
+        *self.placement.borrow_mut() = Some(PlacementDriver::new(policy));
+    }
+
+    /// Runs one placement step: sample per-site synchronization load,
+    /// publish the `css.depth.*`/`css.handoffs` gauges, and migrate CSS
+    /// roles per the placement policy. A no-op report when placement was
+    /// never enabled.
+    pub fn balance_css(&self) -> PlacementReport {
+        match self.placement.borrow_mut().as_mut() {
+            Some(d) => d.step(&self.fsc),
+            None => PlacementReport::default(),
+        }
+    }
+
+    /// Cumulative successful placement migrations.
+    pub fn placement_migrations(&self) -> u64 {
+        self.placement.borrow().as_ref().map_or(0, |d| d.migrations)
+    }
+
+    /// Cumulative placement refusals (handoffs bounced by a cooldown).
+    pub fn placement_refusals(&self) -> u64 {
+        self.placement.borrow().as_ref().map_or(0, |d| d.refusals)
     }
 
     // ------------------------------------------------------------------

@@ -123,10 +123,15 @@ impl Cluster {
                         .max()
                         .unwrap_or(0)
                         + 1;
+                    let now = net.now();
                     for &site in partition {
                         if let Ok(m) = self.fsc.kernel(site).mount.get_mut(*fg) {
                             m.css = css;
                             m.css_epoch = epoch;
+                            // Stamped so the placement driver's per-
+                            // filegroup cooldown covers reconfiguration-
+                            // assigned roles too.
+                            m.css_claimed_at = Some(now);
                         }
                     }
                     report.css_assignments.push((*fg, css));
@@ -142,6 +147,12 @@ impl Cluster {
         // Cross-partition process pairs and orphaned subtransactions.
         report.procs_notified = self.procs.handle_partition_split(&self.fsc);
         report.txns_aborted = self.txns.abort_orphans(&self.fsc);
+
+        // The placement driver's load samples predate the new topology;
+        // let it rebuild its picture from scratch.
+        if let Some(d) = self.placement.borrow_mut().as_mut() {
+            d.reset();
+        }
 
         // Stage 4: the recovery procedure (§4) per filegroup, run in each
         // partition that has a synchronization site for it.

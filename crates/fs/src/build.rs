@@ -14,6 +14,7 @@ struct FgSpec {
     name: String,
     containers: Vec<SiteId>,
     mount_at: Option<String>,
+    css: Option<SiteId>,
 }
 
 /// Builds an [`FsCluster`]: sites, filegroups, containers and the initial
@@ -84,7 +85,29 @@ impl FsClusterBuilder {
             name: name.to_owned(),
             containers: container_sites.iter().map(|&s| SiteId(s)).collect(),
             mount_at: None,
+            css: None,
         });
+        self
+    }
+
+    /// Overrides the starting CSS of the most recently registered
+    /// filegroup (the default is the lowest-numbered container site).
+    /// Placement experiments use this to start every shard's CSS on one
+    /// hot site and let the placement driver spread the load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no filegroup has been registered yet or if `site` is not
+    /// one of its containers.
+    pub fn css_at(mut self, site: u32) -> Self {
+        let spec = self.fgs.last_mut().expect("css_at needs a filegroup");
+        let site = SiteId(site);
+        assert!(
+            spec.containers.contains(&site),
+            "CSS for filegroup {} must be a container site",
+            spec.name
+        );
+        spec.css = Some(site);
         self
     }
 
@@ -95,6 +118,7 @@ impl FsClusterBuilder {
             name: name.to_owned(),
             containers: container_sites.iter().map(|&s| SiteId(s)).collect(),
             mount_at: Some(path.to_owned()),
+            css: None,
         });
         self
     }
@@ -102,6 +126,14 @@ impl FsClusterBuilder {
     /// Overrides the per-pack block count.
     pub fn blocks_per_pack(mut self, n: u32) -> Self {
         self.blocks_per_pack = n;
+        self
+    }
+
+    /// Overrides the per-filegroup inode-space size. Large sharded
+    /// clusters shrink this (together with [`Self::blocks_per_pack`]) to
+    /// keep the image footprint proportional to what the workload needs.
+    pub fn inos_per_fg(mut self, n: u32) -> Self {
+        self.inos_per_fg = n;
         self
     }
 
@@ -232,7 +264,9 @@ impl FsClusterBuilder {
                 .enumerate()
                 .map(|(idx, &site)| (PackId::new(fg, idx as u32), site))
                 .collect();
-            let css = containers.iter().map(|(_, s)| *s).min().expect("non-empty");
+            let css = spec
+                .css
+                .unwrap_or_else(|| containers.iter().map(|(_, s)| *s).min().expect("non-empty"));
             table.add(MountInfo {
                 fg,
                 root_ino: Ino(1),
@@ -240,6 +274,7 @@ impl FsClusterBuilder {
                 containers,
                 css,
                 css_epoch: 0,
+                css_claimed_at: None,
             });
         }
 

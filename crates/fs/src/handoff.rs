@@ -24,6 +24,7 @@
 //!   monitor's probation: idempotent probe RPCs until the monitor
 //!   readmits the site or gives up.
 
+use locus_net::CSS_CLAIM_COOLDOWN;
 use locus_types::{Errno, FilegroupId, Gfid, PackId, SiteId, SysResult};
 
 use crate::cluster::FsCluster;
@@ -76,22 +77,27 @@ pub struct HandoffReport {
 /// everyone else. Returns the report; `Err(Einval)` if `new_css` hosts
 /// no container of `fg`, `Err(Esitedown)` if `new_css` is itself
 /// quarantined or down — a gray site must never take the role.
+/// `Err(Eagain)` if the current assignment is younger than
+/// [`CSS_CLAIM_COOLDOWN`]: the rate limit lives in the mechanism, so no
+/// policy — however flappy — can storm the role (audit invariant 9).
+/// `Err(Etxtbsy)` if the claim lost a race (the role is live at a site
+/// this claimant's stale table did not know about; the table is healed).
 pub fn css_handoff(fsc: &FsCluster, fg: FilegroupId, new_css: SiteId) -> SysResult<HandoffReport> {
     fsc.with_span("css_handoff", new_css, || handoff_inner(fsc, fg, new_css))
 }
 
 fn handoff_inner(fsc: &FsCluster, fg: FilegroupId, new_css: SiteId) -> SysResult<HandoffReport> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(new_css, cost::SYSCALL_CPU);
     if !fsc.net().is_up(new_css) || fsc.net().quarantined(new_css) {
         return Err(Errno::Esitedown);
     }
-    let (old_css, epoch) = {
+    let (old_css, epoch, claimed_at) = {
         let k = fsc.kernel(new_css);
         let m = k.mount.get(fg)?;
         if m.pack_at(new_css).is_none() {
             return Err(Errno::Einval); // only container sites can hold the role
         }
-        (m.css, m.css_epoch + 1)
+        (m.css, m.css_epoch + 1, m.css_claimed_at)
     };
     let mut report = HandoffReport {
         fg,
@@ -106,6 +112,16 @@ fn handoff_inner(fsc: &FsCluster, fg: FilegroupId, new_css: SiteId) -> SysResult
     };
     if old_css == new_css {
         return Ok(report); // already holds the role; nothing to move
+    }
+    // Local arm of the claim cooldown: this site learned of the current
+    // assignment no earlier than the claim itself, so refusing here never
+    // admits a storm the old CSS's own check would have caught — it only
+    // saves the wire round trip (and covers the cold-claim path below,
+    // where no old CSS is reachable to enforce anything).
+    if let Some(t0) = claimed_at {
+        if fsc.net().now().saturating_sub(t0) < CSS_CLAIM_COOLDOWN {
+            return Err(Errno::Eagain);
+        }
     }
 
     // Pull the old CSS's drained state. The RPC is idempotent (the old
@@ -122,6 +138,28 @@ fn handoff_inner(fsc: &FsCluster, fg: FilegroupId, new_css: SiteId) -> SysResult
             new_css,
         },
     );
+    match &reply {
+        // The old CSS refused: its assignment is younger than the claim
+        // cooldown. Surface the refusal instead of claiming cold — a cold
+        // claim here would be exactly the storm the cooldown exists to
+        // stop.
+        Err(Errno::Eagain) => return Err(Errno::Eagain),
+        // Lost a race (or this site's table was stale): the role is live
+        // at a site we did not expect. Adopt the redirect and abort —
+        // claiming cold under our own epoch could duplicate the winner's.
+        Ok(FsReply::NotCss {
+            epoch: cur_epoch,
+            new_css: cur_css,
+        }) => {
+            let (cur_epoch, cur_css) = (*cur_epoch, *cur_css);
+            let now = fsc.net().now();
+            fsc.with_kernel(new_css, |k| {
+                k.mount.adopt_css(fg, cur_css, cur_epoch, now)
+            });
+            return Err(Errno::Etxtbsy);
+        }
+        _ => {}
+    }
     if let Ok(FsReply::HandoffState { latest, locks }) = reply {
         report.state_transferred = true;
         report.latest_entries = latest.len();
@@ -177,7 +215,11 @@ fn handoff_inner(fsc: &FsCluster, fg: FilegroupId, new_css: SiteId) -> SysResult
     }
 
     // Claim the role: adopt locally, announce in the trace, fan out.
-    fsc.with_kernel(new_css, |k| k.mount.adopt_css(fg, new_css, epoch));
+    let claim_now = fsc.net().now();
+    fsc.with_kernel(new_css, |k| {
+        k.mount.adopt_css(fg, new_css, epoch, claim_now);
+        k.css_claims += 1;
+    });
     if fsc.net().observing() {
         fsc.net()
             .obs_note(new_css, "css.claim", &format!("fg{}", fg.0), epoch);
@@ -197,7 +239,9 @@ fn handoff_inner(fsc: &FsCluster, fg: FilegroupId, new_css: SiteId) -> SysResult
 /// requests are redirected from this point on) and reply with a snapshot
 /// of the synchronization state for the filegroup. Re-delivery with the
 /// same epoch returns the same snapshot; a *newer* assignment on record
-/// means this handoff lost a race and gets a redirect instead.
+/// means this handoff lost a race and gets a redirect instead. A *new*
+/// claim arriving within [`CSS_CLAIM_COOLDOWN`] of the current
+/// assignment is refused with `Eagain` — the anti-storm rate limit.
 pub(crate) fn handle_css_handoff(
     fsc: &FsCluster,
     at: SiteId,
@@ -205,7 +249,8 @@ pub(crate) fn handle_css_handoff(
     epoch: u64,
     new_css: SiteId,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(at, cost::CONTROL_CPU);
+    let now = fsc.net().now();
     let mut k = fsc.kernel(at);
     {
         let m = k.mount.get(fg)?;
@@ -215,8 +260,15 @@ pub(crate) fn handle_css_handoff(
                 new_css: m.css,
             });
         }
+        if epoch > m.css_epoch {
+            if let Some(t0) = m.css_claimed_at {
+                if now.saturating_sub(t0) < CSS_CLAIM_COOLDOWN {
+                    return Err(Errno::Eagain);
+                }
+            }
+        }
     }
-    k.mount.adopt_css(fg, new_css, epoch);
+    k.mount.adopt_css(fg, new_css, epoch, now);
     let mut latest: Vec<(Gfid, locus_types::VersionVector)> = k
         .latest_entries_for(fg)
         .map(|(g, vv)| (g, vv.clone()))
@@ -240,8 +292,9 @@ pub(crate) fn handle_css_update(
     epoch: u64,
     new_css: SiteId,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
-    fsc.with_kernel(at, |k| k.mount.adopt_css(fg, new_css, epoch));
+    fsc.net().charge_cpu_at(at, cost::CONTROL_CPU);
+    let now = fsc.net().now();
+    fsc.with_kernel(at, |k| k.mount.adopt_css(fg, new_css, epoch, now));
     Ok(FsReply::Ok)
 }
 
@@ -252,7 +305,7 @@ pub(crate) fn handle_css_update(
 /// replica set so the ordinary notification → pull machinery populates
 /// the new copy. Data converges at the next [`FsCluster::settle`].
 pub fn replica_add(fsc: &FsCluster, fg: FilegroupId, site: SiteId) -> SysResult<()> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(site, cost::SYSCALL_CPU);
     if !fsc.net().is_up(site) || fsc.net().quarantined(site) {
         return Err(Errno::Esitedown);
     }
@@ -325,7 +378,7 @@ pub fn replica_add(fsc: &FsCluster, fg: FilegroupId, site: SiteId) -> SysResult<
 /// last container (`Enocopy`). The pack is detached and the root
 /// directory's replica set shrinks through an ordinary commit.
 pub fn replica_remove(fsc: &FsCluster, fg: FilegroupId, site: SiteId) -> SysResult<()> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(site, cost::SYSCALL_CPU);
     let (root, idx, css) = {
         let k = fsc.kernel(site);
         let m = k.mount.get(fg)?;
@@ -483,6 +536,26 @@ mod tests {
         assert_eq!(r.sites_notified, 0, "…but moves nothing");
         assert_eq!(fsc.kernel(SiteId(0)).mount.get(FG).unwrap().css_epoch, 0);
         assert_eq!(css_handoff(&fsc, FG, SiteId(2)).err(), Some(Errno::Einval));
+    }
+
+    /// The anti-storm rate limit: a second claim inside
+    /// [`CSS_CLAIM_COOLDOWN`] is refused with `Eagain` whoever asks;
+    /// once the window passes, the role moves normally.
+    #[test]
+    fn back_to_back_handoffs_hit_the_claim_cooldown() {
+        let fsc = cluster(&[0, 1, 2], 1);
+        css_handoff(&fsc, FG, SiteId(1)).unwrap();
+        assert_eq!(fsc.kernel(SiteId(1)).css_claims, 1);
+        assert_eq!(css_handoff(&fsc, FG, SiteId(2)).err(), Some(Errno::Eagain));
+        assert_eq!(
+            fsc.kernel(SiteId(2)).mount.get(FG).unwrap().css,
+            SiteId(1),
+            "refused claim moved nothing"
+        );
+        fsc.net().charge_cpu(CSS_CLAIM_COOLDOWN);
+        let r = css_handoff(&fsc, FG, SiteId(2)).unwrap();
+        assert_eq!(r.epoch, 2);
+        assert_eq!(fsc.kernel(SiteId(2)).css_claims, 1);
     }
 
     #[test]

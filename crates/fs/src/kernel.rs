@@ -1,7 +1,7 @@
 //! The per-site filesystem kernel: packs, incore inodes, buffer cache,
 //! open-file table, shadow sessions and the propagation queue.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use locus_storage::{BufferCache, Pack, ShadowSession};
 use locus_types::{Errno, FilegroupId, Gfid, MachineType, OpenMode, PackId, SiteId, SysResult};
@@ -158,6 +158,13 @@ pub struct FsKernel {
     pub name_cache: crate::namecache::NameAttrCache,
     /// Per-file write-behind buffers (batched I/O mode only).
     pub(crate) write_behind: HashMap<Gfid, WriteBehind>,
+    /// Cumulative synchronization requests this site served *as CSS*,
+    /// per filegroup (§2.3.1 open/close/VV-check traffic). The placement
+    /// driver samples deltas of this counter as its request-queue-depth
+    /// signal; a site that stops being CSS simply stops accumulating.
+    pub(crate) css_served: BTreeMap<FilegroupId, u64>,
+    /// Cumulative CSS-role claims this site performed via live handoff.
+    pub css_claims: u64,
 }
 
 impl FsKernel {
@@ -182,7 +189,20 @@ impl FsKernel {
             latest: HashMap::new(),
             name_cache: crate::namecache::NameAttrCache::new(),
             write_behind: HashMap::new(),
+            css_served: BTreeMap::new(),
+            css_claims: 0,
         }
+    }
+
+    /// Counts one synchronization request served by this site in its CSS
+    /// role for `fg`.
+    pub fn note_css_request(&mut self, fg: FilegroupId) {
+        *self.css_served.entry(fg).or_insert(0) += 1;
+    }
+
+    /// Cumulative CSS-served request count for `fg`.
+    pub fn css_served(&self, fg: FilegroupId) -> u64 {
+        self.css_served.get(&fg).copied().unwrap_or(0)
     }
 
     /// Records a version vector learned from a commit notification,

@@ -40,6 +40,7 @@ pub mod mount;
 pub mod namecache;
 pub mod ops;
 pub mod pipe;
+pub mod placement;
 pub mod proto;
 
 pub use build::FsClusterBuilder;
@@ -48,4 +49,5 @@ pub use directory::{DirEntry, Directory};
 pub use handoff::{css_handoff, probation_probe, replica_add, replica_remove, HandoffReport};
 pub use kernel::FsKernel;
 pub use mount::{MountInfo, MountTable};
+pub use placement::{PlacementDriver, PlacementPolicy, PlacementReport};
 pub use proto::{Fd, InodeInfo, ProcFsCtx};

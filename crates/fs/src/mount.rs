@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use locus_types::{Errno, FilegroupId, Gfid, Ino, PackId, SiteId, SysResult};
+use locus_types::{Errno, FilegroupId, Gfid, Ino, PackId, SiteId, SysResult, Ticks};
 
 /// Mount-table record for one logical filegroup.
 #[derive(Clone, Debug)]
@@ -34,6 +34,12 @@ pub struct MountInfo {
     /// stale redirects and duplicated update messages cannot roll the
     /// role backwards.
     pub css_epoch: u64,
+    /// When the current CSS assignment was adopted via live handoff
+    /// (`None` for build-time and reconfiguration-driven assignments).
+    /// The handoff path refuses a *new* claim inside
+    /// [`locus_net::CSS_CLAIM_COOLDOWN`] of this instant, which is what
+    /// bounds handoff storms and upholds trace-audit invariant 9.
+    pub css_claimed_at: Option<Ticks>,
 }
 
 impl MountInfo {
@@ -122,13 +128,15 @@ impl MountTable {
     }
 
     /// Adopts a CSS assignment if `epoch` is strictly newer than the one
-    /// on record. Returns whether the table changed. Monotonicity makes
-    /// redirect handling and update delivery order-insensitive.
-    pub fn adopt_css(&mut self, fg: FilegroupId, css: SiteId, epoch: u64) -> bool {
+    /// on record, stamping the adoption instant. Returns whether the
+    /// table changed. Monotonicity makes redirect handling and update
+    /// delivery order-insensitive.
+    pub fn adopt_css(&mut self, fg: FilegroupId, css: SiteId, epoch: u64, now: Ticks) -> bool {
         match self.groups.get_mut(&fg) {
             Some(m) if epoch > m.css_epoch => {
                 m.css = css;
                 m.css_epoch = epoch;
+                m.css_claimed_at = Some(now);
                 true
             }
             _ => false,
@@ -148,6 +156,7 @@ mod tests {
             containers: vec![(PackId::new(FilegroupId(fg), 0), SiteId(css))],
             css: SiteId(css),
             css_epoch: 0,
+            css_claimed_at: None,
         }
     }
 
@@ -155,15 +164,21 @@ mod tests {
     fn adopt_css_is_epoch_monotone() {
         let mut t = MountTable::new();
         t.add(info(0, None, 0));
-        assert!(t.adopt_css(FilegroupId(0), SiteId(2), 3));
+        let t1 = Ticks::millis(1);
+        assert!(t.adopt_css(FilegroupId(0), SiteId(2), 3, t1));
         assert_eq!(t.css_of(FilegroupId(0)).unwrap(), SiteId(2));
-        // An older or equal epoch never rolls the assignment back.
-        assert!(!t.adopt_css(FilegroupId(0), SiteId(1), 3));
-        assert!(!t.adopt_css(FilegroupId(0), SiteId(1), 2));
+        assert_eq!(t.get(FilegroupId(0)).unwrap().css_claimed_at, Some(t1));
+        // An older or equal epoch never rolls the assignment back (and
+        // never re-stamps the claim instant).
+        let t2 = Ticks::millis(2);
+        assert!(!t.adopt_css(FilegroupId(0), SiteId(1), 3, t2));
+        assert!(!t.adopt_css(FilegroupId(0), SiteId(1), 2, t2));
         assert_eq!(t.css_of(FilegroupId(0)).unwrap(), SiteId(2));
-        assert!(t.adopt_css(FilegroupId(0), SiteId(1), 4));
+        assert_eq!(t.get(FilegroupId(0)).unwrap().css_claimed_at, Some(t1));
+        assert!(t.adopt_css(FilegroupId(0), SiteId(1), 4, t2));
         assert_eq!(t.css_of(FilegroupId(0)).unwrap(), SiteId(1));
-        assert!(!t.adopt_css(FilegroupId(9), SiteId(1), 99), "unknown fg");
+        assert_eq!(t.get(FilegroupId(0)).unwrap().css_claimed_at, Some(t2));
+        assert!(!t.adopt_css(FilegroupId(9), SiteId(1), 99, t2), "unknown fg");
     }
 
     #[test]

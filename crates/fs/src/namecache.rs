@@ -29,6 +29,7 @@
 //! — and replaying a seed remains byte-identical.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use locus_storage::CacheStats;
 use locus_types::{FileType, Gfid, Ino, VersionVector};
@@ -44,8 +45,11 @@ struct CachedDir {
     vv: VersionVector,
     /// The directory's own inode info (type/permission checks on a hit).
     info: InodeInfo,
-    /// Parsed contents.
-    dir: Directory,
+    /// Parsed contents, shared with every outstanding hit. Searching
+    /// only reads the entries, so a validated hit hands out another
+    /// reference instead of re-deriving (deep-copying) the dentry state;
+    /// the copy is paid once, at fill time.
+    dir: Rc<Directory>,
     /// File types of previously looked-up children. Valid exactly as
     /// long as the directory version is: a type can only change if the
     /// inode is freed and reused, which removes the directory entry
@@ -75,6 +79,7 @@ pub struct NameAttrCache {
     attr_hits: u64,
     attr_misses: u64,
     invalidations: u64,
+    dir_deep_copies: u64,
 }
 
 impl NameAttrCache {
@@ -138,11 +143,15 @@ impl NameAttrCache {
     /// Serves the cached directory contents and inode info if they cover
     /// `latest`. A stale entry is dropped on the spot (counted as an
     /// invalidation) so a subsequent fill starts clean.
-    pub fn dir_fresh(&mut self, gfid: Gfid, latest: &VersionVector) -> Option<(Directory, InodeInfo)> {
+    pub fn dir_fresh(
+        &mut self,
+        gfid: Gfid,
+        latest: &VersionVector,
+    ) -> Option<(Rc<Directory>, InodeInfo)> {
         match self.dirs.get(&gfid) {
             Some(e) if e.vv.covers(latest) => {
                 self.dentry_hits += 1;
-                Some((e.dir.clone(), e.info.clone()))
+                Some((Rc::clone(&e.dir), e.info.clone()))
             }
             Some(_) => {
                 self.dentry_misses += 1;
@@ -158,8 +167,10 @@ impl NameAttrCache {
     }
 
     /// Caches a directory's parsed contents under the version they were
-    /// read at.
-    pub fn insert_dir(&mut self, gfid: Gfid, info: InodeInfo, dir: Directory) {
+    /// read at. The fill is the one place dentry state is materialized
+    /// by copy, and the counter proves it.
+    pub fn insert_dir(&mut self, gfid: Gfid, info: InodeInfo, dir: Rc<Directory>) {
+        self.dir_deep_copies += 1;
         self.dirs.insert(
             gfid,
             CachedDir {
@@ -217,6 +228,7 @@ impl NameAttrCache {
         s.attr_hits += self.attr_hits;
         s.attr_misses += self.attr_misses;
         s.name_invalidations += self.invalidations;
+        s.dir_deep_copies += self.dir_deep_copies;
     }
 }
 
@@ -256,7 +268,7 @@ mod tests {
     fn dir_entry_serves_until_version_moves() {
         let mut c = NameAttrCache::new();
         let d = gfid(1);
-        c.insert_dir(d, info(vv(1)), Directory::new());
+        c.insert_dir(d, info(vv(1)), Rc::new(Directory::new()));
         assert!(c.dir_fresh(d, &vv(1)).is_some(), "current entry served");
         assert!(c.dir_fresh(d, &vv(2)).is_none(), "newer CSS version rejected");
         assert!(
@@ -268,13 +280,14 @@ mod tests {
         assert_eq!(s.dentry_hits, 1);
         assert_eq!(s.dentry_misses, 2);
         assert_eq!(s.name_invalidations, 1);
+        assert_eq!(s.dir_deep_copies, 1, "only the fill copies dentry state");
     }
 
     #[test]
     fn child_types_die_with_the_directory_entry() {
         let mut c = NameAttrCache::new();
         let d = gfid(1);
-        c.insert_dir(d, info(vv(1)), Directory::new());
+        c.insert_dir(d, info(vv(1)), Rc::new(Directory::new()));
         c.remember_child_type(d, Ino(9), FileType::HiddenDirectory);
         assert_eq!(c.child_type(d, Ino(9)), Some(FileType::HiddenDirectory));
         assert!(c.dir_fresh(d, &vv(2)).is_none()); // drops the stale entry
@@ -299,7 +312,7 @@ mod tests {
     #[test]
     fn invalidate_and_flush_count_dropped_entries() {
         let mut c = NameAttrCache::new();
-        c.insert_dir(gfid(1), info(vv(1)), Directory::new());
+        c.insert_dir(gfid(1), info(vv(1)), Rc::new(Directory::new()));
         c.insert_attr(gfid(1), info(vv(1)));
         c.insert_attr(gfid(2), info(vv(1)));
         assert_eq!(c.entries(), 3);

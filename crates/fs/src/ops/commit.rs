@@ -29,7 +29,7 @@ fn commit_at_inner(
     ss: SiteId,
     meta: Option<MetaUpdate>,
 ) -> SysResult<InodeInfo> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(us, cost::SYSCALL_CPU);
     // Commit is a write-behind flush point: every buffered page must be in
     // the SS's shadow session before the session is committed.
     io::flush_write_behind(fsc, us, gfid)?;
@@ -55,7 +55,7 @@ fn commit_at_inner(
 /// to the previous commit point").
 pub fn abort_at(fsc: &FsCluster, us: SiteId, gfid: Gfid, ss: SiteId) -> SysResult<()> {
     fsc.with_span("abort", us, || {
-        fsc.net().charge_cpu(cost::SYSCALL_CPU);
+        fsc.net().charge_cpu_at(us, cost::SYSCALL_CPU);
         io::discard_write_behind(fsc, us, gfid);
         if ss == us {
             handle_abort(fsc, ss, gfid)?;
@@ -75,7 +75,7 @@ pub(crate) fn handle_commit(
     gfid: Gfid,
     meta: Option<MetaUpdate>,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(ss, cost::CONTROL_CPU);
     // A quarantined storage site must not acknowledge commits: its links
     // are suspect, so a version installed here could silently diverge
     // from what the notifications propagate. The using site sees the
@@ -150,7 +150,7 @@ pub(crate) fn handle_commit(
             .map(|inc| inc.serving.iter().copied().collect())
             .unwrap_or_default();
         drop(k);
-        fsc.net().charge_cpu(io_cost);
+        fsc.net().charge_cpu_at(ss, io_cost);
         (info, pages, inode_only, containers, css, readers, origin)
     };
 
@@ -188,7 +188,7 @@ pub(crate) fn handle_commit(
 
 /// SS-side abort handler.
 pub(crate) fn handle_abort(fsc: &FsCluster, ss: SiteId, gfid: Gfid) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(ss, cost::CONTROL_CPU);
     let mut k = fsc.kernel(ss);
     k.session_writer.remove(&gfid);
     if let Some(sess) = k.sessions.remove(&gfid) {
@@ -212,7 +212,7 @@ pub(crate) fn handle_commit_notify(
     pages: Option<Vec<usize>>,
     info: InodeInfo,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(at, cost::CONTROL_CPU);
     let mut k = fsc.kernel(at);
     k.note_latest(gfid, &vv);
     let mut enqueue = false;
@@ -290,7 +290,7 @@ pub(crate) fn handle_commit_notify(
 /// Propagation-source handler: an internal open of the latest version for
 /// a pulling site (§2.3.6).
 pub(crate) fn handle_pull_open(fsc: &FsCluster, at: SiteId, gfid: Gfid) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(at, cost::CONTROL_CPU);
     let k = fsc.kernel(at);
     let info = k.local_info(gfid).ok_or(Errno::Enocopy)?;
     if !info.deleted && !k.stores_data(gfid) {

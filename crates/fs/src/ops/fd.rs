@@ -116,7 +116,7 @@ pub fn read(fsc: &FsCluster, site: SiteId, fd: Fd, n: usize) -> SysResult<Vec<u8
 }
 
 fn read_inner(fsc: &FsCluster, site: SiteId, fd: Fd, n: usize) -> SysResult<Vec<u8>> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(site, cost::SYSCALL_CPU);
     ensure_token(fsc, site, fd)?;
     let (gfid, ss, offset, size, kind) = {
         let k = fsc.kernel(site);
@@ -244,7 +244,7 @@ pub fn write(fsc: &FsCluster, site: SiteId, fd: Fd, data: &[u8]) -> SysResult<us
 }
 
 fn write_inner(fsc: &FsCluster, site: SiteId, fd: Fd, data: &[u8]) -> SysResult<usize> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(site, cost::SYSCALL_CPU);
     ensure_token(fsc, site, fd)?;
     let (gfid, ss, offset, size, kind, mode) = {
         let k = fsc.kernel(site);
@@ -294,7 +294,7 @@ fn write_inner(fsc: &FsCluster, site: SiteId, fd: Fd, data: &[u8]) -> SysResult<
 /// Repositions the descriptor offset. A seek is a write-behind window
 /// boundary: pending buffered pages flush to the SS first.
 pub fn lseek(fsc: &FsCluster, site: SiteId, fd: Fd, pos: u64) -> SysResult<u64> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(site, cost::SYSCALL_CPU);
     ensure_token(fsc, site, fd)?;
     let gfid = fsc.kernel(site).fd(fd)?.gfid;
     crate::ops::io::flush_write_behind(fsc, site, gfid)?;
@@ -536,7 +536,7 @@ pub(crate) fn handle_token_acquire(
     id: SharedFdId,
     requester: SiteId,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(home, cost::CONTROL_CPU);
     let holder = {
         let k = fsc.kernel(home);
         k.shared_home.get(&id).ok_or(Errno::Einval)?.holder
@@ -569,7 +569,7 @@ pub(crate) fn handle_token_recall(
     holder: SiteId,
     id: SharedFdId,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(holder, cost::CONTROL_CPU);
     let mut k = fsc.kernel(holder);
     match k.token_held.remove(&id) {
         Some(fd) => {
@@ -587,7 +587,7 @@ pub(crate) fn handle_token_give(
     id: SharedFdId,
     offset: u64,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(home, cost::CONTROL_CPU);
     let mut k = fsc.kernel(home);
     if let Some(sh) = k.shared_home.get_mut(&id) {
         sh.holder = home;

@@ -93,7 +93,7 @@ pub fn get_page(
             let _ = k.pack_of(gfid.fg).map(|p| p.take_io_cost());
         }
         drop(k);
-        fsc.net().charge_cpu(io + cost::PAGE_SERVICE_CPU);
+        fsc.net().charge_cpu_at(us, io + cost::PAGE_SERVICE_CPU);
         return Ok(data);
     }
 
@@ -102,10 +102,10 @@ pub fn get_page(
     let key = (net_cache_pack(gfid.fg), gfid.ino, lpn);
     if let Some(data) = fsc.kernel(us).cache.get(&key) {
         // Buffer-cache hits still cost the copy out of the kernel buffer.
-        fsc.net().charge_cpu(cost::PAGE_SERVICE_CPU);
+        fsc.net().charge_cpu_at(us, cost::PAGE_SERVICE_CPU);
         return Ok(data);
     }
-    fsc.net().charge_cpu(cost::REMOTE_SETUP_CPU);
+    fsc.net().charge_cpu_at(us, cost::REMOTE_SETUP_CPU);
     let reply = fsc.rpc(
         us,
         ss,
@@ -159,7 +159,7 @@ pub(crate) fn handle_read_page(
         (data, io, vv_total)
     };
     note_read(fsc, ss, gfid, vv_total);
-    fsc.net().charge_cpu(io + cost::PAGE_SERVICE_CPU);
+    fsc.net().charge_cpu_at(ss, io + cost::PAGE_SERVICE_CPU);
     Ok(FsReply::Page { data })
 }
 
@@ -196,7 +196,7 @@ pub fn get_page_batched(
     flush_write_behind(fsc, us, gfid)?;
     let key = (net_cache_pack(gfid.fg), gfid.ino, lpn);
     if let Some(data) = fsc.kernel(us).cache.get(&key) {
-        fsc.net().charge_cpu(cost::PAGE_SERVICE_CPU);
+        fsc.net().charge_cpu_at(us, cost::PAGE_SERVICE_CPU);
         return Ok((data, 0));
     }
     // Extend the request over consecutive pages still missing from the
@@ -215,7 +215,7 @@ pub fn get_page_batched(
         }
         count
     };
-    fsc.net().charge_cpu(cost::REMOTE_SETUP_CPU);
+    fsc.net().charge_cpu_at(us, cost::REMOTE_SETUP_CPU);
     let reply = fsc.rpc(
         us,
         ss,
@@ -272,7 +272,7 @@ pub(crate) fn handle_read_pages(
     }
     note_read(fsc, ss, gfid, vv_total);
     fsc.net()
-        .charge_cpu(io + cost::PAGE_SERVICE_CPU.scaled(pages.len() as u64));
+        .charge_cpu_at(ss, io + cost::PAGE_SERVICE_CPU.scaled(pages.len() as u64));
     Ok(FsReply::Pages { pages })
 }
 
@@ -328,7 +328,7 @@ pub(crate) fn handle_write_page(
     data: &[u8],
     new_size: u64,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::PAGE_SERVICE_CPU);
+    fsc.net().charge_cpu_at(ss, cost::PAGE_SERVICE_CPU);
     let mut k = fsc.kernel(ss);
     local_write_page(&mut k, from, gfid, lpn, data, new_size)?;
     Ok(FsReply::Ok)
@@ -348,7 +348,7 @@ pub(crate) fn handle_write_pages(
     new_size: u64,
 ) -> SysResult<FsReply> {
     fsc.net()
-        .charge_cpu(cost::PAGE_SERVICE_CPU.scaled(pages.len().max(1) as u64));
+        .charge_cpu_at(ss, cost::PAGE_SERVICE_CPU.scaled(pages.len().max(1) as u64));
     let mut k = fsc.kernel(ss);
     for (i, page) in pages.iter().enumerate() {
         local_write_page(&mut k, from, gfid, first + i, page, new_size)?;
@@ -491,7 +491,7 @@ pub fn put_page_range(
             let mut k = fsc.kernel(us);
             local_write_page(&mut k, us, gfid, lpn, &page, new_size)?;
             drop(k);
-            fsc.net().charge_cpu(cost::PAGE_SERVICE_CPU);
+            fsc.net().charge_cpu_at(us, cost::PAGE_SERVICE_CPU);
         } else if buffering {
             buffer_page(fsc, us, gfid, ss, lpn, page, new_size)?;
         } else {
@@ -546,7 +546,7 @@ pub(crate) fn handle_pipe_op(
     gfid: Gfid,
     op: PipeOp,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(home, cost::CONTROL_CPU);
     let mut k = fsc.kernel(home);
     let state = k.pipes.entry(gfid).or_default();
     Ok(FsReply::Pipe(state.apply(op)))
@@ -578,7 +578,7 @@ pub(crate) fn handle_device_op(
     gfid: Gfid,
     op: DeviceOp,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(home, cost::CONTROL_CPU);
     let mut k = fsc.kernel(home);
     let dev = k.devices.get_mut(&gfid).ok_or(Errno::Enoent)?;
     Ok(FsReply::Device(dev.apply(op)))

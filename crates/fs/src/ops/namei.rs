@@ -22,6 +22,8 @@
 //! open → read → close exchange entirely. Local directories with no
 //! pending propagations keep the paper's zero-message bypass instead.
 
+use std::rc::Rc;
+
 use locus_storage::PAGE_SIZE;
 use locus_types::{Errno, FileType, Gfid, Ino, OpenMode, Perms, SiteId, SysResult, VersionVector};
 
@@ -237,7 +239,8 @@ fn css_known_latest(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> SysResult<Versio
                 if redirects > crate::handoff::MAX_CSS_REDIRECTS || new_css == css {
                     return Err(Errno::Esitedown);
                 }
-                fsc.with_kernel(us, |k| k.mount.adopt_css(gfid.fg, new_css, epoch));
+                let now = fsc.net().now();
+                fsc.with_kernel(us, |k| k.mount.adopt_css(gfid.fg, new_css, epoch, now));
                 css = new_css;
             }
             _ => return Err(Errno::Eio),
@@ -249,15 +252,18 @@ fn css_known_latest(fsc: &FsCluster, us: SiteId, gfid: Gfid) -> SysResult<Versio
 /// version this CSS knows of, from its own copy and the commit
 /// notifications it has seen.
 pub(crate) fn handle_vv_check(fsc: &FsCluster, css: SiteId, gfid: Gfid) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
-    let k = fsc.kernel(css);
-    let m = k.mount.get(gfid.fg)?;
-    if m.css != css {
-        return Ok(FsReply::NotCss {
-            epoch: m.css_epoch,
-            new_css: m.css,
-        });
+    fsc.net().charge_cpu_at(css, cost::CONTROL_CPU);
+    let mut k = fsc.kernel(css);
+    {
+        let m = k.mount.get(gfid.fg)?;
+        if m.css != css {
+            return Ok(FsReply::NotCss {
+                epoch: m.css_epoch,
+                new_css: m.css,
+            });
+        }
     }
+    k.note_css_request(gfid.fg);
     if k.local_info(gfid).is_none() {
         return Err(Errno::Enoent);
     }
@@ -283,7 +289,7 @@ fn dir_for_search(
     us: SiteId,
     gfid: Gfid,
     check: impl Fn(&InodeInfo) -> SysResult<()>,
-) -> SysResult<(Directory, InodeInfo)> {
+) -> SysResult<(Rc<Directory>, InodeInfo)> {
     let caching = fsc.name_cache_enabled() && !local_bypass(fsc, us, gfid);
     if caching {
         if let Ok(latest) = css_known_latest(fsc, us, gfid) {
@@ -303,11 +309,11 @@ fn dir_for_search(
     }
     let bytes = read_all_via(fsc, us, &t);
     close_ticket(fsc, us, &t)?;
-    let dir = Directory::parse(&bytes?)?;
+    let dir = Rc::new(Directory::parse(&bytes?)?);
     if caching {
         fsc.with_kernel(us, |k| {
             k.name_cache.insert_attr(gfid, t.info.clone());
-            k.name_cache.insert_dir(gfid, t.info.clone(), dir.clone());
+            k.name_cache.insert_dir(gfid, t.info.clone(), Rc::clone(&dir));
         });
     }
     Ok((dir, t.info))
@@ -377,7 +383,7 @@ fn resolve_inner(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> Sy
             Some(stripped) if !stripped.is_empty() => (stripped, true),
             _ => (raw, false),
         };
-        fsc.net().charge_cpu(cost::DIR_SCAN_CPU);
+        fsc.net().charge_cpu_at(us, cost::DIR_SCAN_CPU);
 
         // Open the directory internally (or serve it from the name
         // cache) and search it.
@@ -470,7 +476,7 @@ pub fn create(
     ftype: FileType,
     perms: Perms,
 ) -> SysResult<Gfid> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(us, cost::SYSCALL_CPU);
     let (parent_path, name) = split_parent(path)?;
     let dirg = resolve(fsc, us, ctx, parent_path)?;
     let parent = stat_gfid(fsc, us, dirg)?;
@@ -583,7 +589,7 @@ pub(crate) fn handle_create_at(
     owner: u32,
     replicas: Vec<u32>,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(at, cost::CONTROL_CPU);
     let now = fsc.net().now();
     let mut k = fsc.kernel(at);
     let pack = k
@@ -604,7 +610,7 @@ pub(crate) fn handle_create_at(
 /// the last link goes ("the US marks the inode and does a commit",
 /// §2.3.7).
 pub fn unlink(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, path: &str) -> SysResult<()> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(us, cost::SYSCALL_CPU);
     let (parent_path, name) = split_parent(path)?;
     let dirg = resolve(fsc, us, ctx, parent_path)?;
     let gfid = resolve(fsc, us, ctx, path)?;
@@ -671,7 +677,7 @@ pub fn link(
     existing: &str,
     newpath: &str,
 ) -> SysResult<()> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(us, cost::SYSCALL_CPU);
     let target = resolve(fsc, us, ctx, existing)?;
     let info = stat_gfid(fsc, us, target)?;
     if info.ftype.is_directory_like() {
@@ -696,7 +702,7 @@ pub fn link(
 
 /// Renames within one filegroup. The destination must not exist.
 pub fn rename(fsc: &FsCluster, us: SiteId, ctx: &ProcFsCtx, from: &str, to: &str) -> SysResult<()> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(us, cost::SYSCALL_CPU);
     let target = resolve(fsc, us, ctx, from)?;
     let (from_parent, from_name) = split_parent(from)?;
     let (to_parent, to_name) = split_parent(to)?;

@@ -33,7 +33,7 @@ fn open_gfid_inner(
     gfid: Gfid,
     mode: OpenMode,
 ) -> SysResult<OpenTicket> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(us, cost::SYSCALL_CPU);
     if !fsc.net().is_up(us) {
         return Err(Errno::Esitedown);
     }
@@ -101,7 +101,8 @@ fn open_gfid_inner(
             if redirects > crate::handoff::MAX_CSS_REDIRECTS || new_css == css {
                 return Err(Errno::Esitedown);
             }
-            fsc.with_kernel(us, |k| k.mount.adopt_css(gfid.fg, new_css, epoch));
+            let now = fsc.net().now();
+            fsc.with_kernel(us, |k| k.mount.adopt_css(gfid.fg, new_css, epoch, now));
             css = new_css;
         }
     };
@@ -155,7 +156,7 @@ pub(crate) fn handle_css_open(
     us_vv: Option<VersionVector>,
     us: SiteId,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(css, cost::CONTROL_CPU);
     let (latest, local_info, candidates) = {
         let mut k = fsc.kernel(css);
         let minfo = k.mount.get(gfid.fg)?.clone();
@@ -168,6 +169,7 @@ pub(crate) fn handle_css_open(
                 new_css: minfo.css,
             });
         }
+        k.note_css_request(gfid.fg);
         let local = k.local_info(gfid).ok_or(Errno::Enoent)?;
         if local.deleted {
             return Err(Errno::Enoent);
@@ -320,7 +322,7 @@ pub(crate) fn handle_ss_poll(
     us: SiteId,
     _write: bool,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(cand, cost::CONTROL_CPU);
     let mut k = fsc.kernel(cand);
     let Some(info) = k.local_info(gfid) else {
         return Ok(FsReply::SsRefuse);
@@ -338,7 +340,7 @@ pub fn close_ticket(fsc: &FsCluster, us: SiteId, t: &OpenTicket) -> SysResult<()
 }
 
 fn close_ticket_inner(fsc: &FsCluster, us: SiteId, t: &OpenTicket) -> SysResult<()> {
-    fsc.net().charge_cpu(cost::SYSCALL_CPU);
+    fsc.net().charge_cpu_at(us, cost::SYSCALL_CPU);
     let last = {
         let mut k = fsc.kernel(us);
         let inc = k.incore_get(t.gfid).ok_or(Errno::Ebadf)?;
@@ -387,7 +389,7 @@ pub(crate) fn handle_close(
     us: SiteId,
     write: bool,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(ss, cost::CONTROL_CPU);
     {
         let mut k = fsc.kernel(ss);
         if let Some(inc) = k.incore_get(gfid) {
@@ -445,8 +447,9 @@ pub(crate) fn handle_ss_close(
     us: SiteId,
     write: bool,
 ) -> SysResult<FsReply> {
-    fsc.net().charge_cpu(cost::CONTROL_CPU);
+    fsc.net().charge_cpu_at(css, cost::CONTROL_CPU);
     let mut k = fsc.kernel(css);
+    k.note_css_request(gfid.fg);
     if let Some(inc) = k.incore_get(gfid) {
         if let Some(cs) = inc.css.as_mut() {
             cs.deregister(us, write);

@@ -46,7 +46,7 @@ pub use health::{HealthEvent, HealthMonitor, HealthPolicy, SiteHealth};
 pub use latency::LatencyModel;
 pub use obs::{
     audit, export_jsonl, parse_jsonl, render_op_stats, AuditReport, Histogram, ObsEvent, Observer,
-    OpStat, SendOutcome,
+    OpStat, SendOutcome, CSS_CLAIM_COOLDOWN,
 };
 pub use rpc::{RpcEngine, RpcError, WireMsg, MAX_CONSECUTIVE_REOPENS};
 pub use stats::{LinkStats, NetStats, ServiceStats};
@@ -478,6 +478,23 @@ impl Net {
     /// time.
     pub fn charge_cpu(&self, cost: Ticks) {
         self.inner.borrow_mut().clock.advance(cost);
+    }
+
+    /// Like [`Net::charge_cpu`], but also attributes the cycles to the
+    /// site that spent them in the per-site busy table. The single global
+    /// clock cannot show *where* load concentrates; the busy table is what
+    /// the scale sweep and the CSS placement policy read to find hot
+    /// sites.
+    pub fn charge_cpu_at(&self, site: SiteId, cost: Ticks) {
+        let mut g = self.inner.borrow_mut();
+        g.clock.advance(cost);
+        g.stats.record_busy(site, cost.as_micros());
+    }
+
+    /// Sets a named stats gauge (e.g. a sampled CSS request-queue depth);
+    /// see [`NetStats::set_gauge`].
+    pub fn set_stat_gauge(&self, key: &str, value: u64) {
+        self.inner.borrow_mut().stats.set_gauge(key, value);
     }
 
     /// Current virtual time.

@@ -1036,6 +1036,13 @@ impl AuditReport {
     }
 }
 
+/// Minimum virtual-time gap between two successful `css.claim`s for one
+/// filegroup. The handoff mechanism refuses a new-epoch claim arriving
+/// within this window of the current owner's own claim, so even a
+/// flapping placement policy cannot thrash the synchronization role; the
+/// auditor checks the same constant offline (invariant 9 of [`audit`]).
+pub const CSS_CLAIM_COOLDOWN: Ticks = Ticks::millis(5);
+
 /// Per-span state tracked during the audit replay.
 #[derive(Debug, Default)]
 struct SpanAudit {
@@ -1079,6 +1086,10 @@ struct SpanAudit {
 ///    inside a `health.quarantine` … `health.readmit` window: a site the
 ///    health monitor has isolated for gray failure must not acknowledge
 ///    commits.
+/// 9. **Claim cooldown** — two successful `css.claim`s for one filegroup
+///    are never closer than [`CSS_CLAIM_COOLDOWN`] on the virtual clock:
+///    the handoff mechanism's rate limit holds even against flapping
+///    placement policies (no handoff storms).
 pub fn audit(events: &[ObsEvent]) -> AuditReport {
     let mut report = AuditReport {
         events: events.len() as u64,
@@ -1093,6 +1104,8 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
     let mut open_commits: BTreeMap<String, u64> = BTreeMap::new();
     // Filegroup label -> newest CSS-claim epoch seen.
     let mut css_epochs: BTreeMap<String, u64> = BTreeMap::new();
+    // Filegroup label -> time of the newest accepted CSS claim.
+    let mut css_claim_at: BTreeMap<String, Ticks> = BTreeMap::new();
     // Sites currently inside a quarantine window.
     let mut quarantined: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
 
@@ -1290,6 +1303,18 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
                             ));
                         } else {
                             css_epochs.insert(label.clone(), *value);
+                            if let Some(&prev_at) = css_claim_at.get(label) {
+                                if at.saturating_sub(prev_at) < CSS_CLAIM_COOLDOWN {
+                                    report.violations.push(format!(
+                                        "t={}: css.claim for `{label}` only {}us after \
+                                         the previous claim (cooldown {}us)",
+                                        at,
+                                        at.saturating_sub(prev_at).as_micros(),
+                                        CSS_CLAIM_COOLDOWN.as_micros()
+                                    ));
+                                }
+                            }
+                            css_claim_at.insert(label.clone(), *at);
                         }
                     }
                     "health.quarantine" => {
@@ -1541,11 +1566,11 @@ mod tests {
 
     #[test]
     fn audit_rejects_nonmonotone_css_claim() {
-        // Two claims with increasing epochs are fine…
+        // Two claims with increasing epochs (a cooldown apart) are fine…
         let ok = vec![
             note(1, 1, "css.claim", "fg0", 1),
-            note(2, 2, "css.claim", "fg0", 2),
-            note(3, 1, "css.claim", "fg1", 1), // other filegroup: own counter
+            note(6_000, 2, "css.claim", "fg0", 2),
+            note(6_001, 1, "css.claim", "fg1", 1), // other filegroup: own counter
         ];
         assert!(audit(&ok).is_clean());
         // …but a duplicate or stale epoch means two sites claimed the same
@@ -1566,6 +1591,34 @@ mod tests {
             note(2, 2, "css.claim", "fg0", 4),
         ];
         assert!(!audit(&stale).is_clean());
+    }
+
+    /// Invariant 9: legitimate (epoch-increasing) claims for one
+    /// filegroup still violate the audit if they land inside the claim
+    /// cooldown — the signature of a handoff storm.
+    #[test]
+    fn audit_rejects_claims_inside_the_cooldown() {
+        let gap = CSS_CLAIM_COOLDOWN.as_micros();
+        let storm = vec![
+            note(1, 1, "css.claim", "fg0", 1),
+            note(1 + gap - 1, 2, "css.claim", "fg0", 2),
+        ];
+        let report = audit(&storm);
+        assert!(!report.is_clean());
+        assert!(
+            report.violations[0].contains("cooldown"),
+            "got: {:?}",
+            report.violations
+        );
+        // Exactly a cooldown apart is legal; other filegroups never
+        // interfere with fg0's window.
+        let calm = vec![
+            note(1, 1, "css.claim", "fg0", 1),
+            note(2, 2, "css.claim", "fg9", 7),
+            note(1 + gap, 2, "css.claim", "fg0", 2),
+            note(1 + 2 * gap, 3, "css.claim", "fg0", 3),
+        ];
+        assert!(audit(&calm).is_clean(), "{:?}", audit(&calm).violations);
     }
 
     #[test]

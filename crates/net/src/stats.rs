@@ -64,6 +64,8 @@ pub struct NetStats {
     losses: BTreeMap<&'static str, u64>,
     services: BTreeMap<&'static str, ServiceStats>,
     links: BTreeMap<(SiteId, SiteId), LinkStats>,
+    site_busy: BTreeMap<SiteId, u64>,
+    gauges: BTreeMap<String, u64>,
     /// Circuits closed by partition changes or crashes.
     pub circuits_closed: u64,
 }
@@ -156,6 +158,47 @@ impl NetStats {
     /// Records a gray one-directional block on the directed link.
     pub fn record_link_blocked(&mut self, from: SiteId, to: SiteId) {
         self.links.entry((from, to)).or_default().blocked += 1;
+    }
+
+    /// Attributes `micros` of virtual CPU time to `site`. The simulation
+    /// runs every site against one global virtual clock, so wall-style
+    /// elapsed time cannot distinguish a balanced cluster from one whose
+    /// whole load funnels through a single synchronization site; this
+    /// table records where the cycles were actually spent.
+    pub fn record_busy(&mut self, site: SiteId, micros: u64) {
+        *self.site_busy.entry(site).or_insert(0) += micros;
+    }
+
+    /// Virtual CPU micros attributed to `site` (zero if it never worked).
+    pub fn busy_micros(&self, site: SiteId) -> u64 {
+        self.site_busy.get(&site).copied().unwrap_or(0)
+    }
+
+    /// The largest per-site busy time — the bottleneck site's load, which
+    /// bounds the cluster's aggregate throughput under an open loop.
+    pub fn max_busy_micros(&self) -> u64 {
+        self.site_busy.values().copied().max().unwrap_or(0)
+    }
+
+    /// Iterates the per-site busy table in site order.
+    pub fn site_busy(&self) -> impl Iterator<Item = (SiteId, u64)> + '_ {
+        self.site_busy.iter().map(|(&s, &us)| (s, us))
+    }
+
+    /// Sets a named gauge (last-write-wins instantaneous value, e.g. a
+    /// CSS request-queue depth sampled by the placement driver).
+    pub fn set_gauge(&mut self, key: &str, value: u64) {
+        self.gauges.insert(key.to_string(), value);
+    }
+
+    /// The current value of a named gauge (zero if never set).
+    pub fn gauge(&self, key: &str) -> u64 {
+        self.gauges.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates the gauge table sorted by key.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
     /// Successful sends of `kind`.
@@ -430,6 +473,28 @@ mod tests {
         assert_eq!(slowed.get(&(a, b)), None, "setup inflation excluded");
         assert_eq!(slowed.get(&(b, a)), Some(&1));
         assert_eq!(s.delta_link_blocked(&snap).get(&(b, a)), Some(&1));
+    }
+
+    /// The busy table keys by site so a sweep can find the bottleneck
+    /// site; gauges are last-write-wins instantaneous values.
+    #[test]
+    fn busy_table_and_gauges() {
+        let mut s = NetStats::new();
+        s.record_busy(SiteId(0), 200);
+        s.record_busy(SiteId(0), 400);
+        s.record_busy(SiteId(3), 200);
+        assert_eq!(s.busy_micros(SiteId(0)), 600);
+        assert_eq!(s.busy_micros(SiteId(3)), 200);
+        assert_eq!(s.busy_micros(SiteId(7)), 0);
+        assert_eq!(s.max_busy_micros(), 600);
+        let rows: Vec<(SiteId, u64)> = s.site_busy().collect();
+        assert_eq!(rows, vec![(SiteId(0), 600), (SiteId(3), 200)]);
+        s.set_gauge("css.depth.fg1", 5);
+        s.set_gauge("css.depth.fg1", 2);
+        assert_eq!(s.gauge("css.depth.fg1"), 2, "gauges overwrite");
+        assert_eq!(s.gauge("css.depth.fg2"), 0);
+        let gauges: Vec<(&str, u64)> = s.gauges().collect();
+        assert_eq!(gauges, vec![("css.depth.fg1", 2)]);
     }
 
     /// Regression: per-operation drop/retry figures used to be computed

@@ -38,6 +38,10 @@ pub struct CacheStats {
     pub attr_misses: u64,
     /// Name/attribute entries dropped by invalidation or flush.
     pub name_invalidations: u64,
+    /// Directory contents materialized by parse + copy on a name-cache
+    /// fill. A validated hit serves the parsed contents by shared
+    /// pointer, so this stays proportional to misses, not hits.
+    pub dir_deep_copies: u64,
 }
 
 impl CacheStats {
@@ -82,6 +86,7 @@ impl CacheStats {
         self.attr_hits += other.attr_hits;
         self.attr_misses += other.attr_misses;
         self.name_invalidations += other.name_invalidations;
+        self.dir_deep_copies += other.dir_deep_copies;
     }
 }
 

@@ -17,7 +17,9 @@
 //!   avoids ACKs and circular waits;
 //! * [`css`] — synchronization-site selection for the new partition
 //!   ("the system must select, for each filegroup it supports, a new
-//!   synchronization site", §5.6).
+//!   synchronization site", §5.6);
+//! * [`shard`] — namespace sharding across filegroups and the pure
+//!   load/health mathematics behind adaptive CSS placement.
 //!
 //! The protocols here are deliberately independent of the filesystem: they
 //! operate on [`locus_net::Net`] reachability and produce decisions the
@@ -32,10 +34,12 @@ pub mod css;
 pub mod merge;
 pub mod partition;
 pub mod proto;
+pub mod shard;
 pub mod sync;
 
 pub use cleanup::{failure_action, FailureAction, ResourceSituation};
 pub use css::{select_css, select_css_excluding};
+pub use shard::{select_placement, Candidate, PlacementConfig, ShardMap};
 pub use merge::{merge_protocol, MergeOutcome, MergeTimeouts};
 pub use partition::{partition_protocol, PartitionOutcome};
 pub use proto::TopoMsg;
