@@ -20,7 +20,7 @@
 //! proves health tracking is free on the healthy path.
 //!
 //! Run with `cargo run -p locus-bench --bin bench_guard --
-//! [--rel-tol=<frac>] [names...]` (default: `e1 e3 e12 e13`). Reads
+//! [--rel-tol=<frac>] [names...]` (default: `e1 e3 e12 e13 e14`). Reads
 //! measured reports from `$BENCH_OUT_DIR` or `target/bench`, baselines
 //! from `$BENCH_BASELINE_DIR` or `crates/bench/baselines`.
 
@@ -131,7 +131,13 @@ fn main() -> ExitCode {
         }
     }
     if names.is_empty() {
-        names = vec!["e1".into(), "e3".into(), "e12".into(), "e13".into()];
+        names = vec![
+            "e1".into(),
+            "e3".into(),
+            "e12".into(),
+            "e13".into(),
+            "e14".into(),
+        ];
     }
     let measured_dir = std::env::var_os("BENCH_OUT_DIR")
         .map(PathBuf::from)

@@ -1,0 +1,292 @@
+//! The parallel-epoch workload driver: site-sharded execution of
+//! independent system calls.
+//!
+//! [`Cluster::run_epoch`] takes a batch of read-only operations, bounds
+//! the **footprint** of each (the set of sites its protocol messages can
+//! touch), groups operations whose footprints overlap with a union-find
+//! over sites, and — under [`EngineKind::ParallelEpoch`] — executes each
+//! group on its own OS thread against a private shard of the simulation
+//! (kernels *moved* in, network forked via [`locus_net::Net::fork_shard`]).
+//! At the epoch barrier the shards merge back in global submission order,
+//! producing traces, histograms, statistics and a virtual clock that are
+//! byte-identical to the sequential engine's. See `DESIGN.md`
+//! ("Simulation engine") for the merge rule and the determinism argument.
+//!
+//! Footprints are computed from path *shape* against the static mount-name
+//! map, never by resolving the path (resolution costs messages and would
+//! perturb the trace):
+//!
+//! * absolute path — the root filegroup (every absolute resolution walks
+//!   the root directory) plus, when the first component names a mount
+//!   point, the mounted filegroup;
+//! * relative single-component path (not `.`/`..`) — the filegroup of the
+//!   process's working directory only;
+//! * anything else (multi-component relative paths, dot components,
+//!   unknown pids) — a **hazard**: the whole batch runs serially.
+//!
+//! A filegroup's sites are its containers plus its current CSS; the
+//! process's own site joins its op's footprint. The grouping is a safety
+//! *bound*, not a guess: an operation that escapes its declared footprint
+//! hits an empty kernel slot in the shard and panics loudly rather than
+//! racing.
+//!
+//! The engine also serializes the batch whenever the parallel path cannot
+//! preserve determinism or would not help: a sequential engine selection,
+//! unfired scheduled fault events (absolute-time actions are confined to
+//! barriers), a hazard, or a single merged group.
+
+use std::collections::BTreeSet;
+
+use locus_fs::ops::namei;
+use locus_fs::FsCluster;
+use locus_net::{EngineKind, OpMark};
+use locus_proc::ProcMgr;
+use locus_types::{FilegroupId, OpenMode, Pid, SiteId, SysResult};
+
+use crate::cluster::Cluster;
+
+/// What one epoch shard hands back at the barrier: its cluster view and
+/// process table to absorb, the per-op virtual-time marks that drive the
+/// merge, and the op results in shard-local submission order.
+type ShardResult = (FsCluster, ProcMgr, Vec<OpMark>, Vec<SysResult<EpochOutcome>>);
+
+/// One read-only operation in an epoch batch.
+///
+/// The v1 operation set is deliberately side-effect-free at the
+/// cluster-shared level: opens, reads and stats never allocate shared
+/// descriptors, mailbox sequences or pids, and never enqueue update
+/// propagation — which is what lets shards merge without write
+/// reconciliation. Write workloads run under the sequential engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochOp {
+    /// `open(2)` for read + `read(2)` of up to `len` bytes + `close(2)`.
+    OpenReadClose {
+        /// The calling process.
+        pid: Pid,
+        /// The file, absolute or cwd-relative.
+        path: String,
+        /// Maximum byte count to read.
+        len: usize,
+    },
+    /// `stat(2)`.
+    Stat {
+        /// The calling process.
+        pid: Pid,
+        /// The file, absolute or cwd-relative.
+        path: String,
+    },
+}
+
+/// The successful result of one [`EpochOp`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochOutcome {
+    /// Bytes read by [`EpochOp::OpenReadClose`].
+    Read(Vec<u8>),
+    /// Attributes returned by [`EpochOp::Stat`].
+    Stat(locus_fs::proto::InodeInfo),
+}
+
+/// Runs one op against a cluster view (the global cluster on the serial
+/// path, a private shard on the parallel path).
+fn exec_op(fsc: &FsCluster, procs: &ProcMgr, op: &EpochOp) -> SysResult<EpochOutcome> {
+    match op {
+        EpochOp::OpenReadClose { pid, path, len } => {
+            let fd = procs.popen(fsc, *pid, path, OpenMode::Read)?;
+            let read = procs.pread(fsc, *pid, fd, *len);
+            let closed = procs.pclose(fsc, *pid, fd);
+            let data = read?;
+            closed?;
+            Ok(EpochOutcome::Read(data))
+        }
+        EpochOp::Stat { pid, path } => {
+            let p = procs.get(*pid)?;
+            Ok(EpochOutcome::Stat(namei::stat(fsc, p.site, &p.ctx, path)?))
+        }
+    }
+}
+
+/// Union-find over site indexes (path-halving find, union by arbitrary
+/// attach — the site count is small enough that rank bookkeeping would be
+/// noise).
+struct SiteGroups {
+    parent: Vec<usize>,
+}
+
+impl SiteGroups {
+    fn new(n: usize) -> Self {
+        SiteGroups {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+impl Cluster {
+    /// The filegroups a path resolution can traverse, or `None` for a
+    /// hazard shape the footprint heuristic refuses to bound.
+    fn path_fgs(&self, path: &str, cwd_fg: FilegroupId) -> Option<Vec<FilegroupId>> {
+        if path.is_empty() {
+            return None;
+        }
+        if let Some(rest) = path.strip_prefix('/') {
+            let root_fg = self.fsc.kernel(SiteId(0)).mount.root().ok()?.fg;
+            let mut fgs = vec![root_fg];
+            if let Some(first) = rest.split('/').next().filter(|c| !c.is_empty()) {
+                if let Some(fg) = self.fsc.mounted_fg(first) {
+                    fgs.push(fg);
+                }
+            }
+            Some(fgs)
+        } else if !path.contains('/') && path != "." && path != ".." {
+            Some(vec![cwd_fg])
+        } else {
+            None
+        }
+    }
+
+    /// The sites one op's protocol messages can touch, or `None` for a
+    /// hazard (run the batch serially).
+    fn footprint(&self, op: &EpochOp) -> Option<BTreeSet<SiteId>> {
+        let (pid, path) = match op {
+            EpochOp::OpenReadClose { pid, path, .. } => (*pid, path),
+            EpochOp::Stat { pid, path } => (*pid, path),
+        };
+        let p = self.procs.get(pid).ok()?;
+        let mut sites = BTreeSet::from([p.site]);
+        for fg in self.path_fgs(path, p.ctx.cwd.fg)? {
+            let k = self.fsc.kernel(p.site);
+            let m = k.mount.get(fg).ok()?;
+            sites.extend(m.containers.iter().map(|(_, s)| *s));
+            sites.insert(m.css);
+        }
+        Some(sites)
+    }
+
+    /// Executes a batch of independent read-only operations as one
+    /// virtual-time epoch, returning per-op results in submission order.
+    ///
+    /// Under the sequential engine (or whenever parallelism cannot
+    /// preserve determinism — see the module docs) the ops simply run
+    /// inline, in order. Under the parallel-epoch engine, ops with
+    /// disjoint site footprints execute concurrently on site-sharded
+    /// threads and merge at the barrier; the resulting trace, histograms,
+    /// statistics and virtual clock are byte-identical to the sequential
+    /// engine's. Both paths finish by draining background work
+    /// ([`FsCluster::settle`]), so buffered posts deliver in the
+    /// documented stamp order.
+    pub fn run_epoch(&self, ops: &[EpochOp]) -> Vec<SysResult<EpochOutcome>> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let footprints: Option<Vec<BTreeSet<SiteId>>> =
+            ops.iter().map(|op| self.footprint(op)).collect();
+        let groups = footprints.as_ref().and_then(|fps| {
+            if self.fsc.engine() != EngineKind::ParallelEpoch
+                || self.net().has_unfired_fault_events()
+            {
+                return None;
+            }
+            let mut uf = SiteGroups::new(self.site_count());
+            for fp in fps {
+                let mut it = fp.iter();
+                let first = it.next().expect("footprint always holds the pid site");
+                for s in it {
+                    uf.union(first.index(), s.index());
+                }
+            }
+            // Group ops by their footprint's union-find root; BTreeMap
+            // iteration makes shard numbering deterministic.
+            let mut by_root: std::collections::BTreeMap<usize, (BTreeSet<SiteId>, Vec<usize>)> =
+                std::collections::BTreeMap::new();
+            for (i, fp) in fps.iter().enumerate() {
+                let root = uf.find(fp.first().expect("non-empty").index());
+                let e = by_root.entry(root).or_default();
+                e.0.extend(fp.iter().copied());
+                e.1.push(i);
+            }
+            (by_root.len() > 1).then_some(by_root)
+        });
+
+        let Some(by_root) = groups else {
+            // Serial path: inline, in submission order.
+            let out = ops
+                .iter()
+                .map(|op| exec_op(&self.fsc, &self.procs, op))
+                .collect();
+            self.fsc.settle();
+            return out;
+        };
+
+        // Parallel path: fork one shard per group, run groups on threads,
+        // merge at the barrier in global submission order.
+        self.fsc.note_parallel_epoch();
+        let mut order = vec![(0usize, 0usize); ops.len()];
+        let shards: Vec<(FsCluster, ProcMgr, Vec<usize>)> = by_root
+            .into_values()
+            .enumerate()
+            .map(|(shard_idx, (sites, idxs))| {
+                for (pos, &i) in idxs.iter().enumerate() {
+                    order[i] = (shard_idx, pos);
+                }
+                (
+                    self.fsc.fork_shard(&sites),
+                    self.procs.split_sites(&sites),
+                    idxs,
+                )
+            })
+            .collect();
+        let finished: Vec<ShardResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|(fsc, procs, idxs)| {
+                    s.spawn(move || {
+                        let mut marks = vec![fsc.net().op_mark()];
+                        let mut outs = Vec::with_capacity(idxs.len());
+                        for &i in &idxs {
+                            outs.push(exec_op(&fsc, &procs, &ops[i]));
+                            marks.push(fsc.net().op_mark());
+                        }
+                        (fsc, procs, marks, outs)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("epoch shard panicked"))
+                .collect()
+        });
+
+        let mut results: Vec<Option<SysResult<EpochOutcome>>> = vec![None; ops.len()];
+        let mut nets = Vec::with_capacity(finished.len());
+        for (shard_idx, (fsc, procs, marks, outs)) in finished.into_iter().enumerate() {
+            self.procs.absorb(procs);
+            nets.push((self.fsc.absorb_shard(fsc), marks));
+            let mut outs = outs.into_iter();
+            for (i, slot) in order.iter().zip(results.iter_mut()) {
+                if i.0 == shard_idx {
+                    *slot = Some(outs.next().expect("one result per op"));
+                }
+            }
+        }
+        self.net().absorb_shards(nets, &order);
+        self.fsc.settle();
+        results
+            .into_iter()
+            .map(|r| r.expect("every op assigned to exactly one shard"))
+            .collect()
+    }
+}

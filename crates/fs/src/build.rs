@@ -1,6 +1,6 @@
 //! Filesystem image and cluster construction (`mkfs` for the simulation).
 
-use locus_net::{LatencyModel, Net, RetryPolicy};
+use locus_net::{EngineKind, LatencyModel, Net, RetryPolicy};
 use locus_storage::{DiskInode, Pack, Superblock};
 use locus_types::{FileType, FilegroupId, Gfid, Ino, MachineType, PackId, Perms, SiteId};
 
@@ -42,6 +42,7 @@ pub struct FsClusterBuilder {
     retry: RetryPolicy,
     io_policy: IoPolicy,
     name_cache: bool,
+    engine: Option<EngineKind>,
 }
 
 impl Default for FsClusterBuilder {
@@ -62,6 +63,7 @@ impl FsClusterBuilder {
             retry: RetryPolicy::default(),
             io_policy: IoPolicy::paper_faithful(),
             name_cache: false,
+            engine: None,
         }
     }
 
@@ -162,6 +164,15 @@ impl FsClusterBuilder {
     /// [`crate::namecache`]).
     pub fn name_cache(mut self, on: bool) -> Self {
         self.name_cache = on;
+        self
+    }
+
+    /// Selects the simulation engine explicitly, overriding the
+    /// `LOCUS_ENGINE` environment variable (which is otherwise the
+    /// default; sequential when neither is given). Both engines produce
+    /// byte-identical traces, histograms and statistics.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
         self
     }
 
@@ -300,9 +311,25 @@ impl FsClusterBuilder {
             }
         }
         let fsc = FsCluster::from_parts(net, kernels);
+        let mount_names = self
+            .fgs
+            .iter()
+            .enumerate()
+            .filter_map(|(fgi, spec)| {
+                let path = spec.mount_at.as_deref()?;
+                Some((
+                    path.strip_prefix('/').expect("validated above").to_owned(),
+                    FilegroupId(fgi as u32),
+                ))
+            })
+            .collect();
+        fsc.set_mount_names(mount_names);
         fsc.set_retry_policy(self.retry);
         fsc.set_io_policy(self.io_policy);
         fsc.set_name_cache(self.name_cache);
+        if let Some(engine) = self.engine {
+            fsc.set_engine(engine);
+        }
         fsc
     }
 }

@@ -17,10 +17,10 @@
 //! between a commit and the corresponding `settle`.
 
 use std::cell::{Cell, RefCell, RefMut};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use locus_net::{Net, RetryPolicy, RpcEngine};
-use locus_types::{Errno, SiteId, SysResult};
+use locus_net::{EngineKind, Net, PostStamp, RetryPolicy, RpcEngine};
+use locus_types::{Errno, FilegroupId, SiteId, SysResult, Ticks};
 
 use crate::kernel::FsKernel;
 use crate::ops;
@@ -77,33 +77,170 @@ impl Default for IoPolicy {
     }
 }
 
+/// One stamped asynchronous message buffered on the site-sharded run
+/// queues. The stamp — (post time, source site, per-source sequence
+/// number) — is assigned at [`FsCluster::post`] time and defines the
+/// delivery order at the next settle epoch ([`PostStamp`]).
+#[derive(Debug)]
+pub(crate) struct Posted {
+    pub(crate) at: Ticks,
+    pub(crate) from: SiteId,
+    pub(crate) to: SiteId,
+    pub(crate) seq: u64,
+    pub(crate) msg: FsMsg,
+}
+
+impl Posted {
+    fn stamp(&self) -> PostStamp {
+        PostStamp {
+            at: self.at,
+            from: self.from,
+            seq: self.seq,
+        }
+    }
+}
+
+/// Site-sharded run queues for asynchronous messages: one shard per
+/// destination site, plus the per-source sequence counters that complete
+/// the delivery stamp. Shards let a parallel epoch buffer its posts
+/// privately and merge them at the barrier by sorting on the stamp — the
+/// same sort the sequential engine applies, so both deliver identically.
+#[derive(Debug)]
+pub(crate) struct RunQueues {
+    shards: Vec<VecDeque<Posted>>,
+    seq: Vec<u64>,
+}
+
+impl RunQueues {
+    fn new(n: usize) -> Self {
+        RunQueues {
+            shards: (0..n).map(|_| VecDeque::new()).collect(),
+            seq: vec![0; n],
+        }
+    }
+
+    fn post(&mut self, at: Ticks, from: SiteId, to: SiteId, msg: FsMsg) {
+        let seq = self.seq[from.index()];
+        self.seq[from.index()] += 1;
+        self.shards[to.index()].push_back(Posted {
+            at,
+            from,
+            to,
+            seq,
+            msg,
+        });
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(VecDeque::len).sum()
+    }
+
+    /// Takes every post buffered so far, sorted by the engine's delivery
+    /// stamp. Posts made *during* delivery re-enter the shards and land
+    /// in the next epoch.
+    fn drain_epoch(&mut self) -> Vec<Posted> {
+        let mut batch: Vec<Posted> = self.shards.iter_mut().flat_map(std::mem::take).collect();
+        batch.sort_by_key(|p| p.stamp());
+        batch
+    }
+
+    /// Every buffered post in stamp order (for diagnostics).
+    fn sorted_refs(&self) -> Vec<&Posted> {
+        let mut all: Vec<&Posted> = self.shards.iter().flatten().collect();
+        all.sort_by_key(|p| p.stamp());
+        all
+    }
+}
+
 /// The distributed filesystem: one kernel per site plus the network.
+///
+/// Kernels sit behind `Option` so a parallel epoch can *move* a site
+/// group's kernels into a shard cluster ([`FsCluster::fork_shard`]) and
+/// back; touching a kernel outside its shard's footprint is a grouping
+/// bug and panics loudly.
 pub struct FsCluster {
     pub(crate) net: Net,
-    pub(crate) kernels: Vec<RefCell<FsKernel>>,
-    pub(crate) pending: RefCell<VecDeque<(SiteId, SiteId, FsMsg)>>,
+    pub(crate) kernels: Vec<RefCell<Option<FsKernel>>>,
+    pub(crate) queues: RefCell<RunQueues>,
     pub(crate) next_shared: Cell<u64>,
     pub(crate) mail_seq: Cell<u32>,
     pub(crate) retry: Cell<RetryPolicy>,
     pub(crate) io_policy: Cell<IoPolicy>,
     pub(crate) name_cache_on: Cell<bool>,
+    pub(crate) engine: Cell<EngineKind>,
+    pub(crate) epoch: Cell<u64>,
+    pub(crate) mount_names: RefCell<BTreeMap<String, FilegroupId>>,
+    pub(crate) parallel_epochs: Cell<u64>,
 }
 
 impl FsCluster {
     /// Assembles a cluster from prepared kernels (use
     /// [`crate::build::FsClusterBuilder`] rather than calling this
-    /// directly).
+    /// directly). The engine defaults to the `LOCUS_ENGINE` environment
+    /// variable, falling back to sequential.
     pub fn from_parts(net: Net, kernels: Vec<FsKernel>) -> Self {
+        let n = kernels.len();
         FsCluster {
             net,
-            kernels: kernels.into_iter().map(RefCell::new).collect(),
-            pending: RefCell::new(VecDeque::new()),
+            kernels: kernels.into_iter().map(|k| RefCell::new(Some(k))).collect(),
+            queues: RefCell::new(RunQueues::new(n)),
             next_shared: Cell::new(1),
             mail_seq: Cell::new(1),
             retry: Cell::new(RetryPolicy::default()),
             io_policy: Cell::new(IoPolicy::paper_faithful()),
             name_cache_on: Cell::new(false),
+            engine: Cell::new(locus_net::engine_from_env().unwrap_or_default()),
+            epoch: Cell::new(0),
+            mount_names: RefCell::new(BTreeMap::new()),
+            parallel_epochs: Cell::new(0),
         }
+    }
+
+    /// How many epoch batches actually forked shards onto threads. A
+    /// diagnostic counter (deliberately outside the trace/stats surface,
+    /// which must stay byte-identical across engines): tests use it to
+    /// prove the parallel path engaged rather than silently serializing.
+    pub fn parallel_epochs(&self) -> u64 {
+        self.parallel_epochs.get()
+    }
+
+    /// Counts one shard-forked epoch (the epoch driver calls this).
+    pub fn note_parallel_epoch(&self) {
+        self.parallel_epochs.set(self.parallel_epochs.get() + 1);
+    }
+
+    /// Records the root-directory component name under which each mounted
+    /// filegroup lives (the builder supplies this). The parallel-epoch
+    /// engine's footprint analysis consults the map so it can bound an
+    /// absolute path's filegroup set without resolving the path. Renaming
+    /// a mount-point stub directory at run time is outside the footprint
+    /// heuristic's contract; such workloads must use the sequential
+    /// engine.
+    pub fn set_mount_names(&self, names: BTreeMap<String, FilegroupId>) {
+        *self.mount_names.borrow_mut() = names;
+    }
+
+    /// The filegroup mounted under the root-directory component `name`,
+    /// if any.
+    pub fn mounted_fg(&self, name: &str) -> Option<FilegroupId> {
+        self.mount_names.borrow().get(name).copied()
+    }
+
+    /// The simulation engine driving this cluster.
+    pub fn engine(&self) -> EngineKind {
+        self.engine.get()
+    }
+
+    /// Selects the simulation engine. Both engines produce byte-identical
+    /// traces; parallel-epoch only changes wall-clock scheduling.
+    pub fn set_engine(&self, engine: EngineKind) {
+        self.engine.set(engine);
+    }
+
+    /// How many settle epochs have run (each delivery round of
+    /// [`FsCluster::settle`] is one epoch).
+    pub fn settle_epoch(&self) -> u64 {
+        self.epoch.get()
     }
 
     /// The retry/backoff policy the rpc layer applies under message loss.
@@ -155,9 +292,14 @@ impl FsCluster {
     ///
     /// Panics if the kernel is already borrowed — which would indicate a
     /// re-entrant message cycle, a protocol bug this simulation is
-    /// designed to surface loudly.
+    /// designed to surface loudly — or if the kernel was moved into a
+    /// parallel-epoch shard that does not cover `site` (an operation
+    /// escaped its declared footprint).
     pub fn kernel(&self, site: SiteId) -> RefMut<'_, FsKernel> {
-        self.kernels[site.index()].borrow_mut()
+        RefMut::map(self.kernels[site.index()].borrow_mut(), |k| {
+            k.as_mut()
+                .expect("kernel accessed outside its epoch shard footprint")
+        })
     }
 
     /// Runs `f` with the kernel of `site` borrowed.
@@ -173,8 +315,8 @@ impl FsCluster {
     /// Buffer-cache counters summed over every site's kernel.
     pub fn cache_stats(&self) -> locus_storage::CacheStats {
         let mut total = locus_storage::CacheStats::default();
-        for k in &self.kernels {
-            total.merge(&k.borrow().cache_full_stats());
+        for site in self.sites() {
+            total.merge(&self.kernel(site).cache_full_stats());
         }
         total
     }
@@ -241,12 +383,17 @@ impl FsCluster {
         out
     }
 
-    /// Queues an asynchronous post, delivered at the next
-    /// [`settle`](Self::settle). Posts to sites that become unreachable
-    /// are silently dropped — partition recovery reconciles later (§4).
-    #[allow(dead_code)] // kept for subsystems that defer notifications
-    pub(crate) fn post(&self, from: SiteId, to: SiteId, msg: FsMsg) {
-        self.pending.borrow_mut().push_back((from, to, msg));
+    /// Queues an asynchronous post on the site-sharded run queues,
+    /// stamped with the current virtual time and the source site's next
+    /// sequence number; the next [`settle`](Self::settle) epoch delivers
+    /// all buffered posts in stamp order. Posts to sites that become
+    /// unreachable are silently dropped — partition recovery reconciles
+    /// later (§4). This is the single stamping choke point: every
+    /// deferred notification must enter through it so the engines agree
+    /// on the delivery order.
+    pub fn post(&self, from: SiteId, to: SiteId, msg: FsMsg) {
+        let at = self.net.now();
+        self.queues.borrow_mut().post(at, from, to, msg);
     }
 
     /// Describes the current background-work state: pending-queue length
@@ -254,19 +401,25 @@ impl FsCluster {
     /// queue. This is the panic payload when [`FsCluster::settle`] fails
     /// to quiesce, so a livelock is diagnosable from the message alone.
     pub fn settle_diagnostics(&self) -> String {
-        let pending = self.pending.borrow();
-        let mut out = format!("pending queue: {} message(s)", pending.len());
-        let kinds: Vec<String> = pending
+        let queues = self.queues.borrow();
+        let sorted = queues.sorted_refs();
+        let mut out = format!(
+            "engine {}, epoch {}; pending queue: {} message(s)",
+            self.engine.get(),
+            self.epoch.get(),
+            sorted.len()
+        );
+        let kinds: Vec<String> = sorted
             .iter()
             .rev()
             .take(8)
-            .map(|(from, to, m)| format!("{} -> {} {}", from, to, m.kind()))
+            .map(|p| format!("{} -> {} {}", p.from, p.to, p.msg.kind()))
             .collect();
         if !kinds.is_empty() {
             out.push_str(&format!(
                 "; newest first: [{}]{}",
                 kinds.join(", "),
-                if pending.len() > kinds.len() { ", …" } else { "" }
+                if sorted.len() > kinds.len() { ", …" } else { "" }
             ));
         }
         let mut any_prop = false;
@@ -291,20 +444,47 @@ impl FsCluster {
         out
     }
 
-    /// Drains all background work: pending commit notifications and the
-    /// per-site propagation queues, until quiescent.
+    /// Drains all background work until quiescent, in virtual-time
+    /// epochs. Each epoch snapshots every buffered post and delivers the
+    /// batch in the engine's documented stamp order — (post time, source
+    /// site, per-source sequence number) — then drains the per-site
+    /// propagation queues in site order. Posts produced during an epoch
+    /// are buffered for the next one. Both engines run this exact loop,
+    /// which is why the delivery schedule (and hence the trace) is
+    /// engine-independent; under observation each epoch is wrapped in a
+    /// `settle.epoch` span whose `settle.deliver` notes the trace
+    /// auditor's invariant 10 checks against the same order.
     pub fn settle(&self) {
-        const SETTLE_ROUNDS: usize = 10_000;
-        for _ in 0..SETTLE_ROUNDS {
+        // Epoch budget scales with the cluster: a broadcast storm at n
+        // sites legitimately needs O(n) epochs to quiesce.
+        let max_rounds = 4_096 + 64 * self.site_count();
+        for _ in 0..max_rounds {
             let mut moved = false;
-            loop {
-                let item = self.pending.borrow_mut().pop_front();
-                let Some((from, to, msg)) = item else { break };
+            let batch = self.queues.borrow_mut().drain_epoch();
+            if !batch.is_empty() {
                 moved = true;
-                if self.net.reachable(from, to) && from != to {
-                    // Delivery failures surface as dropped notifications,
-                    // exactly like a partition race; recovery handles it.
-                    let _ = self.one_way(from, to, msg);
+                self.epoch.set(self.epoch.get() + 1);
+                let span = if self.net.observing() {
+                    self.net.obs_span_open("fs", "settle.epoch", SiteId(0))
+                } else {
+                    0
+                };
+                for p in batch {
+                    self.net.obs_note(
+                        p.to,
+                        "settle.deliver",
+                        &format!("{}->{}@{}", p.from, p.to, p.at.as_micros()),
+                        p.seq,
+                    );
+                    if self.net.reachable(p.from, p.to) && p.from != p.to {
+                        // Delivery failures surface as dropped
+                        // notifications, exactly like a partition race;
+                        // recovery handles it.
+                        let _ = self.one_way(p.from, p.to, p.msg);
+                    }
+                }
+                if span != 0 {
+                    self.net.obs_span_close(span, "ok");
                 }
             }
             for site in self.sites() {
@@ -327,7 +507,8 @@ impl FsCluster {
         // Unreachable in practice; a livelock here would be a protocol
         // bug — report the stuck state so it is diagnosable.
         panic!(
-            "settle did not quiesce after {SETTLE_ROUNDS} rounds: {}",
+            "settle ({} engine) did not quiesce after {max_rounds} epochs: {}",
+            self.engine.get(),
             self.settle_diagnostics()
         );
     }
@@ -335,10 +516,96 @@ impl FsCluster {
     /// Whether any background work is pending (tests use this to observe
     /// the propagation window).
     pub fn has_pending_background_work(&self) -> bool {
-        if !self.pending.borrow().is_empty() {
+        if self.queues.borrow().len() > 0 {
             return true;
         }
         self.sites().any(|s| self.kernel(s).prop_queue_len() > 0)
+    }
+
+    /// Forks a shard cluster for one parallel-epoch site group: the
+    /// member sites' kernels *move* into the shard (any other site's
+    /// kernel slot is empty and panics on access), the network forks via
+    /// [`Net::fork_shard`], the run queues start empty with the sequence
+    /// counters copied, and the shared-descriptor / mailbox counters are
+    /// copied and asserted unchanged at absorb time (epoch op sets that
+    /// would allocate them are executed serially instead).
+    pub fn fork_shard(&self, sites: &BTreeSet<SiteId>) -> FsCluster {
+        let n = self.site_count();
+        let kernels: Vec<RefCell<Option<FsKernel>>> = (0..n)
+            .map(|i| {
+                let site = SiteId(i as u32);
+                RefCell::new(if sites.contains(&site) {
+                    Some(
+                        self.kernels[i]
+                            .borrow_mut()
+                            .take()
+                            .expect("site already moved into another epoch shard"),
+                    )
+                } else {
+                    None
+                })
+            })
+            .collect();
+        let mut queues = RunQueues::new(n);
+        queues.seq.copy_from_slice(&self.queues.borrow().seq);
+        FsCluster {
+            net: self.net.fork_shard(sites),
+            kernels,
+            queues: RefCell::new(queues),
+            next_shared: Cell::new(self.next_shared.get()),
+            mail_seq: Cell::new(self.mail_seq.get()),
+            retry: Cell::new(self.retry.get()),
+            io_policy: Cell::new(self.io_policy.get()),
+            name_cache_on: Cell::new(self.name_cache_on.get()),
+            engine: Cell::new(self.engine.get()),
+            epoch: Cell::new(self.epoch.get()),
+            mount_names: RefCell::new(self.mount_names.borrow().clone()),
+            parallel_epochs: Cell::new(0),
+        }
+    }
+
+    /// Re-absorbs a shard cluster at the epoch barrier: kernels move
+    /// back, shard posts (stamps intact) append onto the global run
+    /// queues, and member sites' sequence counters are adopted. Returns
+    /// the shard's network for the caller to merge via
+    /// [`Net::absorb_shards`] in global submission order.
+    pub fn absorb_shard(&self, shard: FsCluster) -> Net {
+        assert_eq!(
+            shard.next_shared.get(),
+            self.next_shared.get(),
+            "an epoch shard allocated a shared descriptor; such ops must run serially"
+        );
+        assert_eq!(
+            shard.mail_seq.get(),
+            self.mail_seq.get(),
+            "an epoch shard allocated a mailbox sequence; such ops must run serially"
+        );
+        let mut members = Vec::new();
+        for (i, slot) in shard.kernels.iter().enumerate() {
+            if let Some(k) = slot.borrow_mut().take() {
+                members.push(i);
+                let prev = self.kernels[i].borrow_mut().replace(k);
+                assert!(
+                    prev.is_none(),
+                    "absorbed a kernel into an occupied slot (overlapping shards)"
+                );
+            }
+        }
+        let mut shard_queues = shard.queues.into_inner();
+        let mut g = self.queues.borrow_mut();
+        for &i in &members {
+            g.seq[i] = shard_queues.seq[i];
+        }
+        for q in shard_queues.shards.iter_mut() {
+            for p in std::mem::take(q) {
+                assert!(
+                    members.contains(&p.from.index()),
+                    "an epoch shard posted on behalf of a site outside its footprint"
+                );
+                g.shards[p.to.index()].push_back(p);
+            }
+        }
+        shard.net
     }
 
     /// Central message dispatch: the serving site's kernel runs the

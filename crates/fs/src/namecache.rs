@@ -29,7 +29,7 @@
 //! — and replaying a seed remains byte-identical.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use locus_storage::CacheStats;
 use locus_types::{FileType, Gfid, Ino, VersionVector};
@@ -49,7 +49,7 @@ struct CachedDir {
     /// only reads the entries, so a validated hit hands out another
     /// reference instead of re-deriving (deep-copying) the dentry state;
     /// the copy is paid once, at fill time.
-    dir: Rc<Directory>,
+    dir: Arc<Directory>,
     /// File types of previously looked-up children. Valid exactly as
     /// long as the directory version is: a type can only change if the
     /// inode is freed and reused, which removes the directory entry
@@ -147,11 +147,11 @@ impl NameAttrCache {
         &mut self,
         gfid: Gfid,
         latest: &VersionVector,
-    ) -> Option<(Rc<Directory>, InodeInfo)> {
+    ) -> Option<(Arc<Directory>, InodeInfo)> {
         match self.dirs.get(&gfid) {
             Some(e) if e.vv.covers(latest) => {
                 self.dentry_hits += 1;
-                Some((Rc::clone(&e.dir), e.info.clone()))
+                Some((Arc::clone(&e.dir), e.info.clone()))
             }
             Some(_) => {
                 self.dentry_misses += 1;
@@ -169,7 +169,7 @@ impl NameAttrCache {
     /// Caches a directory's parsed contents under the version they were
     /// read at. The fill is the one place dentry state is materialized
     /// by copy, and the counter proves it.
-    pub fn insert_dir(&mut self, gfid: Gfid, info: InodeInfo, dir: Rc<Directory>) {
+    pub fn insert_dir(&mut self, gfid: Gfid, info: InodeInfo, dir: Arc<Directory>) {
         self.dir_deep_copies += 1;
         self.dirs.insert(
             gfid,
@@ -268,7 +268,7 @@ mod tests {
     fn dir_entry_serves_until_version_moves() {
         let mut c = NameAttrCache::new();
         let d = gfid(1);
-        c.insert_dir(d, info(vv(1)), Rc::new(Directory::new()));
+        c.insert_dir(d, info(vv(1)), Arc::new(Directory::new()));
         assert!(c.dir_fresh(d, &vv(1)).is_some(), "current entry served");
         assert!(c.dir_fresh(d, &vv(2)).is_none(), "newer CSS version rejected");
         assert!(
@@ -287,7 +287,7 @@ mod tests {
     fn child_types_die_with_the_directory_entry() {
         let mut c = NameAttrCache::new();
         let d = gfid(1);
-        c.insert_dir(d, info(vv(1)), Rc::new(Directory::new()));
+        c.insert_dir(d, info(vv(1)), Arc::new(Directory::new()));
         c.remember_child_type(d, Ino(9), FileType::HiddenDirectory);
         assert_eq!(c.child_type(d, Ino(9)), Some(FileType::HiddenDirectory));
         assert!(c.dir_fresh(d, &vv(2)).is_none()); // drops the stale entry
@@ -312,7 +312,7 @@ mod tests {
     #[test]
     fn invalidate_and_flush_count_dropped_entries() {
         let mut c = NameAttrCache::new();
-        c.insert_dir(gfid(1), info(vv(1)), Rc::new(Directory::new()));
+        c.insert_dir(gfid(1), info(vv(1)), Arc::new(Directory::new()));
         c.insert_attr(gfid(1), info(vv(1)));
         c.insert_attr(gfid(2), info(vv(1)));
         assert_eq!(c.entries(), 3);

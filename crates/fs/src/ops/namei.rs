@@ -22,7 +22,7 @@
 //! open → read → close exchange entirely. Local directories with no
 //! pending propagations keep the paper's zero-message bypass instead.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use locus_storage::PAGE_SIZE;
 use locus_types::{Errno, FileType, Gfid, Ino, OpenMode, Perms, SiteId, SysResult, VersionVector};
@@ -289,7 +289,7 @@ fn dir_for_search(
     us: SiteId,
     gfid: Gfid,
     check: impl Fn(&InodeInfo) -> SysResult<()>,
-) -> SysResult<(Rc<Directory>, InodeInfo)> {
+) -> SysResult<(Arc<Directory>, InodeInfo)> {
     let caching = fsc.name_cache_enabled() && !local_bypass(fsc, us, gfid);
     if caching {
         if let Ok(latest) = css_known_latest(fsc, us, gfid) {
@@ -309,11 +309,11 @@ fn dir_for_search(
     }
     let bytes = read_all_via(fsc, us, &t);
     close_ticket(fsc, us, &t)?;
-    let dir = Rc::new(Directory::parse(&bytes?)?);
+    let dir = Arc::new(Directory::parse(&bytes?)?);
     if caching {
         fsc.with_kernel(us, |k| {
             k.name_cache.insert_attr(gfid, t.info.clone());
-            k.name_cache.insert_dir(gfid, t.info.clone(), Rc::clone(&dir));
+            k.name_cache.insert_dir(gfid, t.info.clone(), Arc::clone(&dir));
         });
     }
     Ok((dir, t.info))

@@ -27,6 +27,15 @@ impl VirtualClock {
     pub fn advance(&mut self, span: Ticks) {
         self.now += span;
     }
+
+    /// Sets the clock to `now` at an epoch barrier. The parallel engine
+    /// lets shards advance private clocks from a common epoch start and
+    /// re-bases the global clock to the merged end time; the merge rule
+    /// only ever moves the clock forward, which this asserts.
+    pub fn set(&mut self, now: Ticks) {
+        assert!(now >= self.now, "epoch merge tried to move the clock backwards");
+        self.now = now;
+    }
 }
 
 #[cfg(test)]

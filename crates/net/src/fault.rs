@@ -8,11 +8,16 @@
 //! plan of message drops, duplicates and delays, transient link flaps and
 //! crash/revive events keyed to the virtual clock.
 //!
-//! Everything is deterministic: one [`SimRng`] (an xorshift64*) is
-//! consumed in send order, so the same seed, plan and operation sequence
-//! reproduce byte-identical behaviour — statistics, traces and all. That
-//! guarantee is what makes the chaos harness in `locus-fs` debuggable:
-//! a failing schedule is re-run from its seed alone.
+//! Everything is deterministic: each **source site** owns one [`SimRng`]
+//! stream (an xorshift64*), consumed in that site's send order, so the
+//! same seed, plan and per-site operation sequence reproduce
+//! byte-identical behaviour — statistics, traces and all. That guarantee
+//! is what makes the chaos harness in `locus-fs` debuggable: a failing
+//! schedule is re-run from its seed alone. Sharding the stream by source
+//! site (rather than one global stream in total send order) is what lets
+//! the parallel-epoch engine run disjoint site groups concurrently
+//! without perturbing each other's rolls; the derivation rule is
+//! documented on [`site_stream_seed`].
 
 use std::collections::BTreeMap;
 
@@ -340,11 +345,31 @@ pub(crate) enum Verdict {
     CircuitAbort,
 }
 
-/// Live injection state: the plan plus its RNG and schedule cursor.
+/// The golden-ratio multiplier shared with [`SimRng::seed_from_u64`].
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The seed of one source site's RNG stream.
+///
+/// **Derivation rule** (documented because cross-engine byte-identity
+/// depends on it): site `s` draws its fault rolls from
+/// `SimRng::seed_from_u64(plan_seed ^ GOLDEN · (s + 1))` where `GOLDEN =
+/// 0x9E37_79B9_7F4A_7C15`, the same odd multiplier `seed_from_u64`
+/// itself uses. Each site's stream depends only on the plan seed and the
+/// site id — never on other sites' traffic — so any interleaving of
+/// sends from different sites consumes the same rolls per site, which is
+/// exactly the property the parallel-epoch engine's shards rely on.
+pub fn site_stream_seed(plan_seed: u64, site: SiteId) -> u64 {
+    plan_seed ^ GOLDEN.wrapping_mul(u64::from(site.0) + 1)
+}
+
+/// Live injection state: the plan plus its per-source-site RNG streams
+/// and schedule cursor.
 #[derive(Clone, Debug)]
 pub(crate) struct FaultInjector {
     plan: FaultPlan,
-    rng: SimRng,
+    /// One RNG stream per **source** site, created on first use from
+    /// [`site_stream_seed`].
+    streams: BTreeMap<SiteId, SimRng>,
     /// Index of the next unfired scheduled event.
     cursor: usize,
 }
@@ -356,12 +381,58 @@ impl FaultInjector {
     }
 
     pub(crate) fn new(plan: FaultPlan) -> Self {
-        let rng = SimRng::seed_from_u64(plan.seed);
         FaultInjector {
             plan,
-            rng,
+            streams: BTreeMap::new(),
             cursor: 0,
         }
+    }
+
+    /// Whether scheduled topology events are still pending. The parallel
+    /// engine refuses to run an epoch concurrently while any are unfired:
+    /// a scheduled crash reads the absolute clock, which shards advance
+    /// independently.
+    pub(crate) fn has_unfired_events(&self) -> bool {
+        self.cursor < self.plan.schedule.len()
+    }
+
+    /// Splits off an injector for a site-shard: the shard takes ownership
+    /// of the member sites' RNG streams (parent keeps the rest), shares
+    /// the plan, and carries the schedule cursor for due-event checks.
+    pub(crate) fn split_sites(&mut self, sites: &std::collections::BTreeSet<SiteId>) -> Self {
+        let mut streams = BTreeMap::new();
+        for &s in sites {
+            if let Some(rng) = self.streams.remove(&s) {
+                streams.insert(s, rng);
+            }
+        }
+        FaultInjector {
+            plan: self.plan.clone(),
+            streams,
+            cursor: self.cursor,
+        }
+    }
+
+    /// Re-absorbs a shard's streams after an epoch barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard fired scheduled events (the engine must have
+    /// serialized such epochs).
+    pub(crate) fn absorb(&mut self, shard: FaultInjector) {
+        assert_eq!(
+            shard.cursor, self.cursor,
+            "shard fired scheduled fault events during a parallel epoch"
+        );
+        self.streams.extend(shard.streams);
+    }
+
+    /// The stream of one source site, created on demand.
+    fn stream(&mut self, site: SiteId) -> &mut SimRng {
+        let seed = site_stream_seed(self.plan.seed, site);
+        self.streams
+            .entry(site)
+            .or_insert_with(|| SimRng::seed_from_u64(seed))
     }
 
     /// Pops every scheduled event due at or before `now`.
@@ -377,9 +448,10 @@ impl FaultInjector {
         out
     }
 
-    /// Rolls the dice for one message. Consumes RNG state in a fixed
-    /// order (drop, then duplicate, then delay) so decisions are
-    /// reproducible per seed regardless of which probabilities are zero.
+    /// Rolls the dice for one message, consuming the **source site's**
+    /// stream in a fixed order (drop, then duplicate, then delay) so
+    /// decisions are reproducible per seed regardless of which
+    /// probabilities are zero.
     pub(crate) fn judge(&mut self, from: SiteId, to: SiteId, kind: &str) -> Verdict {
         let spec = self.plan.spec_for(from, to, kind);
         // Combined probability that either endpoint flaps on this message.
@@ -394,8 +466,9 @@ impl FaultInjector {
         if !spec_active && flap_p == 0.0 {
             return Verdict::Deliver;
         }
+        let rng = self.stream(from);
         let (d, dup, del) = if spec_active {
-            (self.rng.gen_f64(), self.rng.gen_f64(), self.rng.gen_f64())
+            (rng.gen_f64(), rng.gen_f64(), rng.gen_f64())
         } else {
             (1.0, 1.0, 1.0)
         };
@@ -403,7 +476,7 @@ impl FaultInjector {
         // after the original three rolls, so plans without circuit aborts
         // reproduce the exact RNG stream (and traces) of earlier versions.
         let abort = if spec.circuit_abort > 0.0 {
-            self.rng.gen_f64()
+            rng.gen_f64()
         } else {
             1.0
         };
@@ -411,7 +484,7 @@ impl FaultInjector {
         // consumed only when a flapping site is involved, and after every
         // pre-existing roll, so plans without flapping sites reproduce
         // the exact RNG stream of earlier versions.
-        let flap = if flap_p > 0.0 { self.rng.gen_f64() } else { 1.0 };
+        let flap = if flap_p > 0.0 { rng.gen_f64() } else { 1.0 };
         if abort < spec.circuit_abort || flap < flap_p {
             Verdict::CircuitAbort
         } else if d < spec.drop {
@@ -571,9 +644,55 @@ mod tests {
     #[test]
     fn inert_injector_consumes_no_randomness() {
         let mut a = FaultInjector::inert();
-        let rng_before = a.rng.clone().next_u64();
         assert_eq!(a.judge(SiteId(0), SiteId(1), "x"), Verdict::Deliver);
-        assert_eq!(a.rng.clone().next_u64(), rng_before);
+        assert!(
+            a.streams.is_empty(),
+            "an inactive plan must not even materialize a stream"
+        );
+    }
+
+    #[test]
+    fn per_site_streams_are_independent_of_interleaving() {
+        // The same per-site send sequence must consume the same rolls no
+        // matter how sends from different sites interleave — the property
+        // the parallel-epoch shards rely on.
+        let spec = FaultSpec::drop_rate(0.4);
+        let plan = || FaultPlan::new(11).default_spec(spec);
+        let mut a = FaultInjector::new(plan());
+        let mut b = FaultInjector::new(plan());
+        // a: all of site 0's sends, then all of site 1's.
+        let mut va: Vec<Verdict> = (0..16).map(|_| a.judge(SiteId(0), SiteId(2), "x")).collect();
+        va.extend((0..16).map(|_| a.judge(SiteId(1), SiteId(2), "x")));
+        // b: the same sends, alternating.
+        let mut v0 = Vec::new();
+        let mut v1 = Vec::new();
+        for _ in 0..16 {
+            v0.push(b.judge(SiteId(0), SiteId(2), "x"));
+            v1.push(b.judge(SiteId(1), SiteId(2), "x"));
+        }
+        assert_eq!(&va[..16], &v0[..]);
+        assert_eq!(&va[16..], &v1[..]);
+    }
+
+    #[test]
+    fn split_and_absorb_preserve_streams() {
+        let plan = FaultPlan::new(7).default_spec(FaultSpec::drop_rate(0.5));
+        let mut whole = FaultInjector::new(plan.clone());
+        let reference: Vec<Verdict> =
+            (0..24).map(|_| whole.judge(SiteId(1), SiteId(0), "x")).collect();
+
+        let mut parent = FaultInjector::new(plan);
+        let first: Vec<Verdict> =
+            (0..8).map(|_| parent.judge(SiteId(1), SiteId(0), "x")).collect();
+        let sites: std::collections::BTreeSet<SiteId> = [SiteId(1)].into();
+        let mut shard = parent.split_sites(&sites);
+        let mid: Vec<Verdict> =
+            (0..8).map(|_| shard.judge(SiteId(1), SiteId(0), "x")).collect();
+        parent.absorb(shard);
+        let last: Vec<Verdict> =
+            (0..8).map(|_| parent.judge(SiteId(1), SiteId(0), "x")).collect();
+        let replay: Vec<Verdict> = first.into_iter().chain(mid).chain(last).collect();
+        assert_eq!(replay, reference, "split/absorb must not perturb a stream");
     }
 
     #[test]
@@ -607,8 +726,9 @@ mod tests {
     #[test]
     fn flap_roll_preserves_the_stream_of_flapless_plans() {
         // A plan with probabilistic specs but no flapping sites must
-        // consume the exact RNG stream it consumed before flapping sites
-        // existed: three rolls per judged message (no circuit aborts).
+        // consume the exact per-site RNG stream (three rolls per judged
+        // message, no circuit aborts), with the stream seeded by the
+        // documented derivation rule.
         let spec = FaultSpec {
             drop: 0.3,
             duplicate: 0.1,
@@ -617,7 +737,7 @@ mod tests {
             ..Default::default()
         };
         let mut inj = FaultInjector::new(FaultPlan::new(77).default_spec(spec));
-        let mut reference = SimRng::seed_from_u64(77);
+        let mut reference = SimRng::seed_from_u64(site_stream_seed(77, SiteId(0)));
         let mut verdicts = Vec::new();
         for _ in 0..32 {
             verdicts.push(inj.judge(SiteId(0), SiteId(1), "x"));
@@ -644,7 +764,7 @@ mod tests {
         // With no probabilistic spec active, a flap-involved message
         // consumes exactly one roll.
         let mut inj = FaultInjector::new(FaultPlan::new(5).flap_site(SiteId(1), 0.5));
-        let mut reference = SimRng::seed_from_u64(5);
+        let mut reference = SimRng::seed_from_u64(site_stream_seed(5, SiteId(0)));
         for _ in 0..32 {
             let v = inj.judge(SiteId(0), SiteId(1), "x");
             let expect = if reference.gen_f64() < 0.5 {

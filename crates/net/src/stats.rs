@@ -317,6 +317,45 @@ impl NetStats {
         delta.values().sum()
     }
 
+    /// Folds a shard's counters into this table at an epoch barrier.
+    /// Every table is additive; gauges are last-write-wins (shards touch
+    /// disjoint gauge keys, and epoch ops set none today).
+    pub fn merge_from(&mut self, other: NetStats) {
+        fn add<K: Ord>(into: &mut BTreeMap<K, u64>, from: BTreeMap<K, u64>) {
+            for (k, v) in from {
+                *into.entry(k).or_insert(0) += v;
+            }
+        }
+        add(&mut self.sends, other.sends);
+        add(&mut self.bytes, other.bytes);
+        add(&mut self.fails, other.fails);
+        add(&mut self.drops, other.drops);
+        add(&mut self.dups, other.dups);
+        add(&mut self.delays, other.delays);
+        add(&mut self.retries, other.retries);
+        add(&mut self.losses, other.losses);
+        add(&mut self.site_busy, other.site_busy);
+        for (k, row) in other.services {
+            let into = self.services.entry(k).or_default();
+            into.sends += row.sends;
+            into.bytes += row.bytes;
+            into.retries += row.retries;
+            into.drops += row.drops;
+            into.losses += row.losses;
+        }
+        for (k, row) in other.links {
+            let into = self.links.entry(k).or_default();
+            into.sends += row.sends;
+            into.bytes += row.bytes;
+            into.drops += row.drops;
+            into.fails += row.fails;
+            into.slowed += row.slowed;
+            into.blocked += row.blocked;
+        }
+        self.gauges.extend(other.gauges);
+        self.circuits_closed += other.circuits_closed;
+    }
+
     /// Per-directed-link drop difference against an earlier snapshot
     /// (see [`NetStats::delta_drops`] for why deltas, not totals).
     pub fn delta_link_drops(&self, earlier: &NetStats) -> BTreeMap<(SiteId, SiteId), u64> {
