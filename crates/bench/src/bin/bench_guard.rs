@@ -19,6 +19,14 @@
 //! with the gray-failure health monitor enabled, so a strict pass also
 //! proves health tracking is free on the healthy path.
 //!
+//! **Wall-clock keys are exempt in both modes.** Keys containing
+//! `_wall_` or ending in `_speedup` measure host scheduling, not the
+//! simulation — they differ run to run and flake on loaded CI runners.
+//! If a baseline carries one anyway, only its *presence* in the
+//! measured report is checked, never its value (previously strict mode
+//! compared them exactly, which no deterministic simulator can promise
+//! about the host).
+//!
 //! Run with `cargo run -p locus-bench --bin bench_guard --
 //! [--rel-tol=<frac>] [names...]` (default: `e1 e3 e12 e13 e14`). Reads
 //! measured reports from `$BENCH_OUT_DIR` or `target/bench`, baselines
@@ -59,28 +67,29 @@ fn load(path: &Path) -> Result<BTreeMap<String, Option<f64>>, String> {
     Ok(parsed)
 }
 
-fn check(
+/// True for keys that measure the host, not the simulation: wall-clock
+/// durations (`*_wall_*`) and the speedups derived from them
+/// (`*_speedup`). Their values are never compared against a baseline.
+fn is_wall_clock(key: &str) -> bool {
+    key.contains("_wall_") || key.ends_with("_speedup")
+}
+
+fn compare(
     name: &str,
-    measured_dir: &Path,
-    baseline_dir: &Path,
+    baseline: &BTreeMap<String, Option<f64>>,
+    measured: &BTreeMap<String, Option<f64>>,
     strict: bool,
     rel_tol: f64,
 ) -> Vec<String> {
-    let file = format!("BENCH_{name}.json");
-    let baseline = match load(&baseline_dir.join(&file)) {
-        Ok(b) => b,
-        Err(e) => return vec![format!("{name}: baseline: {e}")],
-    };
-    let measured = match load(&measured_dir.join(&file)) {
-        Ok(m) => m,
-        Err(e) => return vec![format!("{name}: measured: {e}")],
-    };
     let mut problems = Vec::new();
-    for (key, base) in &baseline {
+    for (key, base) in baseline {
         let Some(got) = measured.get(key) else {
             problems.push(format!("{name}: key {key} missing from measured report"));
             continue;
         };
+        if is_wall_clock(key) {
+            continue; // host timing: presence was the whole check
+        }
         let (Some(base), Some(got)) = (base, got) else {
             continue; // non-numeric: presence was the whole check
         };
@@ -108,6 +117,25 @@ fn check(
         }
     }
     problems
+}
+
+fn check(
+    name: &str,
+    measured_dir: &Path,
+    baseline_dir: &Path,
+    strict: bool,
+    rel_tol: f64,
+) -> Vec<String> {
+    let file = format!("BENCH_{name}.json");
+    let baseline = match load(&baseline_dir.join(&file)) {
+        Ok(b) => b,
+        Err(e) => return vec![format!("{name}: baseline: {e}")],
+    };
+    let measured = match load(&measured_dir.join(&file)) {
+        Ok(m) => m,
+        Err(e) => return vec![format!("{name}: measured: {e}")],
+    };
+    compare(name, &baseline, &measured, strict, rel_tol)
 }
 
 fn main() -> ExitCode {
@@ -161,5 +189,69 @@ fn main() -> ExitCode {
             eprintln!("bench_guard: {p}");
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pairs: &[(&str, f64)]) -> BTreeMap<String, Option<f64>> {
+        pairs.iter().map(|(k, v)| (k.to_string(), Some(*v))).collect()
+    }
+
+    /// The satellite regression: a wall-clock key whose measured value
+    /// differs wildly from the baseline must not fail the guard — in
+    /// tolerance mode *or* strict mode — while a genuinely simulated key
+    /// (`*_msgs`) in the same report still does.
+    #[test]
+    fn wall_clock_keys_are_never_compared() {
+        let baseline = report(&[
+            ("e15_wall_ms", 1812.0),
+            ("e15_speedup", 3.1),
+            ("open_msgs", 6.0),
+        ]);
+        let measured = report(&[
+            ("e15_wall_ms", 95000.0), // loaded runner: 50x slower
+            ("e15_speedup", 0.4),
+            ("open_msgs", 6.0),
+        ]);
+        assert!(compare("e15", &baseline, &measured, false, 0.05).is_empty());
+        assert!(compare("e15", &baseline, &measured, true, 0.05).is_empty());
+
+        // Same report with a real regression: only the _msgs key trips.
+        let regressed = report(&[
+            ("e15_wall_ms", 95000.0),
+            ("e15_speedup", 0.4),
+            ("open_msgs", 9.0),
+        ]);
+        let problems = compare("e15", &baseline, &regressed, false, 0.05);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("open_msgs"));
+        let problems = compare("e15", &baseline, &regressed, true, 0.05);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("open_msgs"));
+    }
+
+    /// Presence is still required: dropping a wall-clock key from the
+    /// measured report is a missing-key failure even though its value is
+    /// exempt.
+    #[test]
+    fn wall_clock_keys_must_still_be_present() {
+        let baseline = report(&[("e15_wall_ms", 1812.0), ("s8_msgs_per_op", 6.0)]);
+        let measured = report(&[("s8_msgs_per_op", 6.0)]);
+        let problems = compare("e15", &baseline, &measured, true, 0.05);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("e15_wall_ms missing"));
+    }
+
+    #[test]
+    fn wall_clock_key_shapes() {
+        assert!(is_wall_clock("e15_wall_ms"));
+        assert!(is_wall_clock("run_wall_us"));
+        assert!(is_wall_clock("e15_speedup"));
+        assert!(!is_wall_clock("s8_msgs_per_op"));
+        assert!(!is_wall_clock("open_us"));
+        assert!(!is_wall_clock("commit_ratio"));
     }
 }

@@ -12,9 +12,12 @@
 //!    interleaving, one-way loss accounting).
 //!
 //! It then proves the auditor actually *rejects* bad traces by injecting
-//! three corruptions — an orphan reply, an over-budget circuit-reopen
-//! burst, and a read interleaved inside a commit's critical section —
-//! and requiring a violation report for each.
+//! a battery of corruptions — an orphan reply, an over-budget
+//! circuit-reopen burst, a read interleaved inside a commit's critical
+//! section, a CSS-epoch regression, a commit inside a quarantine window,
+//! and three epoch-merge corruptions (a duplicated post seq, a FIFO
+//! inversion inside one source→dest queue, a delivery outside any
+//! `settle.epoch` span) — and requiring a violation report for each.
 //!
 //! Run with `cargo run -p locus-bench --bin trace_audit`. Exits nonzero
 //! (panics) on any violation, so CI can gate on it.
@@ -385,6 +388,56 @@ fn main() {
         note(30, 2, "health.readmit", "S2", 0),
     ];
     require_rejected("quarantined-commit", &quarantined_commit, "quarantined");
+
+    // 6–8. Epoch-merge (invariant 10) corruptions. A helper building a
+    // well-formed settle.epoch span around a batch of deliveries:
+    let settle_span = |id: u64, deliveries: Vec<ObsEvent>| -> Vec<ObsEvent> {
+        let mut evs = vec![ObsEvent::SpanOpen {
+            id,
+            parent: 0,
+            service: "fs".to_owned(),
+            op: "settle.epoch".to_owned(),
+            site: SiteId(0),
+            at: Ticks::micros(100 * id),
+        }];
+        evs.extend(deliveries);
+        evs.push(ObsEvent::SpanClose {
+            id,
+            outcome: "ok".to_owned(),
+            at: Ticks::micros(100 * id + 50),
+        });
+        evs
+    };
+    let deliver = |span: u64, at: u64, label: &str, seq: u64| ObsEvent::Note {
+        span,
+        at: Ticks::micros(at),
+        site: SiteId(0),
+        key: "settle.deliver".to_owned(),
+        label: label.to_owned(),
+        value: seq,
+    };
+
+    // 6. The same (source, seq) delivered in two epochs — each span is
+    // internally ordered, so only the cross-span duplicate check trips.
+    let mut dup_seq = settle_span(1, vec![deliver(1, 101, "S1->S0@90", 3)]);
+    dup_seq.extend(settle_span(2, vec![deliver(2, 201, "S1->S0@190", 3)]));
+    require_rejected("duplicate-post-seq", &dup_seq, "repeats source seq");
+
+    // 7. A FIFO inversion inside the S1->S0 queue: (post time, source,
+    // seq) strictly increases — the span-local merge-order check is
+    // satisfied — but seq 5 is delivered before seq 3.
+    let fifo = settle_span(
+        1,
+        vec![
+            deliver(1, 101, "S1->S0@90", 5),
+            deliver(1, 102, "S1->S0@91", 3),
+        ],
+    );
+    require_rejected("queue-fifo-inversion", &fifo, "breaks FIFO order");
+
+    // 8. A delivery outside any settle.epoch span.
+    let stray = vec![deliver(0, 55, "S1->S0@50", 0)];
+    require_rejected("stray-settle-deliver", &stray, "outside a settle.epoch span");
 
     println!("\ntrace_audit: all clean traces audited, all corruptions rejected");
 }

@@ -66,6 +66,22 @@ fn run_workload(cluster: &Cluster, pids: &[locus::Pid]) -> Vec<Vec<Result<EpochO
     all
 }
 
+/// Drains the obs stream and returns the `(reason, batch_len)` of every
+/// `settle.serial` demotion note in it.
+fn serial_reasons(cluster: &Cluster) -> Vec<(String, u64)> {
+    cluster
+        .net()
+        .take_obs_events()
+        .into_iter()
+        .filter_map(|e| match e {
+            obs::ObsEvent::Note { key, label, value, .. } if key == "settle.serial" => {
+                Some((label, value))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
 struct Fingerprint {
     outcomes: Vec<Vec<Result<EpochOutcome, locus::Errno>>>,
     trace: Vec<locus_net::TraceEvent>,
@@ -109,6 +125,14 @@ fn parallel_epochs_match_sequential_byte_for_byte() {
     assert_eq!(seq.obs_jsonl, par.obs_jsonl, "obs event streams diverged");
     assert_eq!(seq.hists, par.hists, "histograms diverged");
     assert_eq!(seq.stats, par.stats, "statistics diverged");
+    // The stat batches collapse to one merged group (every footprint
+    // holds site 0): a batch-intrinsic demotion, so *both* engines must
+    // carry the `settle.serial` note — it is part of the identical
+    // streams compared above.
+    assert!(
+        seq.obs_jsonl.contains("settle.serial") && seq.obs_jsonl.contains("single-group"),
+        "single-group demotions must be named in the obs stream"
+    );
 }
 
 #[test]
@@ -162,6 +186,11 @@ fn hazard_paths_and_faults_serialize_the_batch() {
     let out = cluster.run_epoch(&ops);
     assert_eq!(cluster.fs().parallel_epochs(), 0, "hazard must serialize");
     assert!(out.iter().all(|r| r.is_ok()));
+    assert_eq!(
+        serial_reasons(&cluster),
+        vec![("hazard-path".to_string(), 2)],
+        "a hazard demotion must be named in the obs stream"
+    );
     // Scheduled fault events confine absolute-time actions to barriers:
     // with any unfired, the engine serializes too.
     let plan = locus_net::FaultPlan::new(7).schedule(
@@ -188,6 +217,127 @@ fn hazard_paths_and_faults_serialize_the_batch() {
         "unfired fault schedule must serialize"
     );
     assert!(out.iter().all(|r| r.is_ok()));
+    assert_eq!(
+        serial_reasons(&cluster),
+        vec![("unfired-fault".to_string(), 2)],
+        "an unfired-fault demotion must be named in the obs stream"
+    );
+}
+
+/// Regression: the old footprint heuristic bounded every relative path by
+/// the cwd's filegroup alone. From a root-filegroup cwd, a component that
+/// names a mount point resolves *into the child filegroup* — whose CSS
+/// and storage sites the declared footprint never mentioned — so under
+/// the parallel engine the op escaped its shard and hit a moved-out
+/// kernel slot (a panic). Mount-boundary walks must demote to hazard
+/// instead.
+#[test]
+fn mount_boundary_walks_demote_to_hazard() {
+    let (cluster, pids) = sharded_cluster(EngineKind::ParallelEpoch);
+    // pids[0]'s cwd is `/` (root filegroup, site 0). "d3" crosses into
+    // filegroup d3 at site 3; the second op keeps site 4 busy in its own
+    // shard so the old heuristic really did fork ({0} and {4} looked
+    // disjoint).
+    let ops = vec![
+        EpochOp::Stat {
+            pid: pids[0],
+            path: "d3".into(),
+        },
+        EpochOp::OpenReadClose {
+            pid: pids[4],
+            path: "data".into(),
+            len: 64,
+        },
+    ];
+    let out = cluster.run_epoch(&ops);
+    assert_eq!(
+        cluster.fs().parallel_epochs(),
+        0,
+        "a mount-crossing relative walk must serialize"
+    );
+    assert!(matches!(out[0], Ok(EpochOutcome::Stat(_))));
+    assert!(matches!(out[1], Ok(EpochOutcome::Read(_))));
+    assert_eq!(
+        serial_reasons(&cluster),
+        vec![("hazard-path".to_string(), 2)],
+        "the mount-boundary demotion must be named in the obs stream"
+    );
+}
+
+/// Mutating ops engage the parallel path too: per-site writes to
+/// disjoint filegroups fork one shard per filegroup (observable through
+/// the `parallel_epochs` counter), and two writers to the *same*
+/// filegroup are forced into one shard — the CSS-owned single-writer
+/// discipline.
+#[test]
+fn write_epochs_fork_and_single_writer_groups_hold() {
+    let (cluster, pids) = sharded_cluster(EngineKind::ParallelEpoch);
+    let writes: Vec<EpochOp> = (1..SITES as u32)
+        .map(|s| EpochOp::WriteFile {
+            pid: pids[s as usize],
+            path: "fresh".into(),
+            data: format!("written at site {s}").into_bytes(),
+        })
+        .collect();
+    let out = cluster.run_epoch(&writes);
+    assert_eq!(
+        cluster.fs().parallel_epochs(),
+        1,
+        "disjoint-filegroup writes must fork"
+    );
+    for (s, r) in (1..SITES as u32).zip(out) {
+        match r.unwrap() {
+            EpochOutcome::Wrote(n) => {
+                assert_eq!(n, format!("written at site {s}").len());
+            }
+            other => panic!("expected a write count, got {other:?}"),
+        }
+    }
+    // Two mutating ops on filegroup d1 (different composites, same
+    // filegroup) plus an unrelated read: the writers share a group, the
+    // read forks — still a parallel epoch, now with exactly two shards.
+    let mixed = vec![
+        EpochOp::Create {
+            pid: pids[1],
+            path: "a".into(),
+        },
+        EpochOp::Mkdir {
+            pid: pids[1],
+            path: "subdir".into(),
+        },
+        EpochOp::OpenReadClose {
+            pid: pids[3],
+            path: "data".into(),
+            len: 64,
+        },
+    ];
+    let out = cluster.run_epoch(&mixed);
+    assert_eq!(
+        cluster.fs().parallel_epochs(),
+        2,
+        "same-filegroup writers must still fork against the unrelated read"
+    );
+    assert!(matches!(out[0], Ok(EpochOutcome::Created(_))));
+    assert!(matches!(out[1], Ok(EpochOutcome::Created(_))));
+    assert!(matches!(out[2], Ok(EpochOutcome::Read(_))));
+    // And the files really exist afterwards, with the committed bytes.
+    let check = vec![EpochOp::OpenReadClose {
+        pid: pids[2],
+        path: "fresh".into(),
+        len: 1 << 12,
+    }];
+    match cluster.run_epoch(&check).remove(0).unwrap() {
+        EpochOutcome::Read(bytes) => assert_eq!(bytes, b"written at site 2"),
+        other => panic!("expected read bytes, got {other:?}"),
+    }
+    let gone = vec![EpochOp::Unlink {
+        pid: pids[1],
+        path: "a".into(),
+    }];
+    assert!(matches!(
+        cluster.run_epoch(&gone).remove(0),
+        Ok(EpochOutcome::Unlinked)
+    ));
 }
 
 #[test]

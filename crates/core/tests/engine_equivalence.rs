@@ -15,7 +15,12 @@
 //! 3. CSS handoff storms on a replicated filegroup;
 //! 4. process chaos — remote forks, signals, exits — interleaved with
 //!    epochs (exercises the process-table split/absorb);
-//! 5. partition + reconfiguration + merge.
+//! 5. partition + reconfiguration + merge;
+//! 6. mixed read/write/create epochs — mutating composites (whole-file
+//!    writes, creates, mkdirs, unlinks) sharing batches with reads and
+//!    stats, under stochastic faults on half the seeds (exercises the
+//!    single-writer shard discipline and the cross-barrier commit
+//!    fan-out).
 
 use locus::{Cluster, EngineKind, EpochOp, Pid, SiteId, Ticks};
 use locus_fs::css_handoff;
@@ -246,6 +251,100 @@ fn run_partition_merge(seed: u64, engine: EngineKind) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Family 6: mixed read/write/create epochs.
+// ---------------------------------------------------------------------
+
+fn run_mixed_mutation_chaos(seed: u64, engine: EngineKind) -> String {
+    let (cluster, pids) = chaos_cluster(engine);
+    let mut rng = family_rng(6, seed);
+    if rng.gen_bool(0.5) {
+        let spec = FaultSpec {
+            drop: rng.gen_f64() * 0.05,
+            duplicate: rng.gen_f64() * 0.05,
+            delay_prob: rng.gen_f64() * 0.10,
+            delay: Ticks::micros(rng.gen_range(10u64..100)),
+            circuit_abort: 0.0,
+        };
+        cluster.net().install_faults(FaultPlan::new(seed).default_spec(spec));
+    }
+    let mut outcomes = String::new();
+    // Names this schedule has created per dedicated-filegroup site, so
+    // unlinks sometimes hit and sometimes miss — deterministically.
+    let mut made: [Vec<String>; 2] = [Vec::new(), Vec::new()];
+    for round in 0..5u32 {
+        let mut ops = Vec::new();
+        for (slot, s) in (3usize..5).enumerate() {
+            let pid = pids[s];
+            match rng.gen_range(0u32..6) {
+                0 => ops.push(EpochOp::WriteFile {
+                    pid,
+                    path: format!("w{round}"),
+                    data: format!("site {s} round {round}").into_bytes(),
+                }),
+                1 => {
+                    let path = format!("c{round}");
+                    made[slot].push(path.clone());
+                    ops.push(EpochOp::Create { pid, path });
+                }
+                2 => ops.push(EpochOp::Mkdir {
+                    pid,
+                    path: format!("m{round}"),
+                }),
+                3 => match made[slot].pop() {
+                    Some(path) => ops.push(EpochOp::Unlink { pid, path }),
+                    None => ops.push(EpochOp::Stat {
+                        pid,
+                        path: "data".into(),
+                    }),
+                },
+                4 => ops.push(EpochOp::OpenReadClose {
+                    pid,
+                    path: "data".into(),
+                    len: 1 << 12,
+                }),
+                _ => ops.push(EpochOp::Stat {
+                    pid,
+                    path: "data".into(),
+                }),
+            }
+        }
+        // Root-filegroup rider: merges sites 0–2 into one group, and on
+        // the write arm drives the replicated-filegroup single-writer
+        // path (CSS + three storage sites in one shard).
+        match rng.gen_range(0u32..3) {
+            0 => ops.push(EpochOp::WriteFile {
+                pid: pids[rng.gen_range(0u32..3) as usize],
+                path: "/scratch".into(),
+                data: format!("round {round}").into_bytes(),
+            }),
+            1 => ops.push(EpochOp::Stat {
+                pid: pids[0],
+                path: "/shared".into(),
+            }),
+            _ => {}
+        }
+        // Occasional hazard shape: the whole batch must demote to the
+        // serial path, identically on both engines.
+        if rng.gen_bool(0.2) {
+            ops.push(EpochOp::Stat {
+                pid: pids[0],
+                path: "d3".into(),
+            });
+        }
+        let out = cluster.run_epoch(&ops);
+        outcomes.push_str(&format!("{out:?};"));
+    }
+    cluster.net().clear_faults();
+    if engine == EngineKind::ParallelEpoch {
+        assert!(
+            cluster.fs().parallel_epochs() > 0,
+            "mixed mutation epochs must engage the parallel path"
+        );
+    }
+    digest(&cluster, &outcomes)
+}
+
+// ---------------------------------------------------------------------
 // The driver: every family, every seed, both engines, byte-compared.
 // ---------------------------------------------------------------------
 
@@ -291,4 +390,9 @@ fn engines_agree_under_proc_chaos() {
 #[test]
 fn engines_agree_under_partition_merge() {
     assert_engines_agree("partition-merge", run_partition_merge);
+}
+
+#[test]
+fn engines_agree_under_mixed_mutation_chaos() {
+    assert_engines_agree("mixed-mutation", run_mixed_mutation_chaos);
 }

@@ -171,6 +171,7 @@ pub struct FsCluster {
     pub(crate) epoch: Cell<u64>,
     pub(crate) mount_names: RefCell<BTreeMap<String, FilegroupId>>,
     pub(crate) parallel_epochs: Cell<u64>,
+    pub(crate) epoch_stamp: Cell<Option<Ticks>>,
 }
 
 impl FsCluster {
@@ -193,6 +194,7 @@ impl FsCluster {
             epoch: Cell::new(0),
             mount_names: RefCell::new(BTreeMap::new()),
             parallel_epochs: Cell::new(0),
+            epoch_stamp: Cell::new(None),
         }
     }
 
@@ -207,6 +209,30 @@ impl FsCluster {
     /// Counts one shard-forked epoch (the epoch driver calls this).
     pub fn note_parallel_epoch(&self) {
         self.parallel_epochs.set(self.parallel_epochs.get() + 1);
+    }
+
+    /// Marks the cluster as inside (`Some`) or outside (`None`) one
+    /// `run_epoch`-style batch, pinning the epoch's entry time. While
+    /// set, commit fan-out buffers on the run queues instead of
+    /// delivering synchronously (`FsCluster::notify`) and inode mtimes
+    /// stamp at the pinned boundary ([`FsCluster::stamp_now`]) — both are
+    /// required for mutating epoch batches to produce identical bytes on
+    /// the sequential and parallel engines, whose mid-epoch clocks
+    /// legitimately differ.
+    pub fn set_epoch_stamp(&self, at: Option<Ticks>) {
+        self.epoch_stamp.set(at);
+    }
+
+    /// Whether an epoch batch is in flight ([`FsCluster::set_epoch_stamp`]).
+    pub fn in_epoch(&self) -> bool {
+        self.epoch_stamp.get().is_some()
+    }
+
+    /// The time to stamp into committed inodes: the epoch boundary while
+    /// a batch is in flight (engine-independent), the live clock
+    /// otherwise.
+    pub fn stamp_now(&self) -> Ticks {
+        self.epoch_stamp.get().unwrap_or_else(|| self.net.now())
     }
 
     /// Records the root-directory component name under which each mounted
@@ -360,6 +386,24 @@ impl FsCluster {
         }
     }
 
+    /// Delivers a deferred notification. Outside an epoch batch this is
+    /// the paper-faithful synchronous one-way (§2.3.6); inside one the
+    /// message buffers on the run queues instead, crossing the epoch
+    /// barrier and delivering at the next [`settle`](Self::settle) in
+    /// stamp order. Buffering is what lets a parallel shard commit
+    /// without touching kernels outside its footprint (a reader holding
+    /// a stale buffer may live on any site), and the stamp re-basing at
+    /// absorb time makes the delivery schedule engine-independent.
+    pub(crate) fn notify(&self, from: SiteId, to: SiteId, msg: FsMsg) {
+        if self.in_epoch() {
+            self.post(from, to, msg);
+        } else {
+            // Delivery failures surface as dropped notifications, exactly
+            // like a partition race; recovery handles it.
+            let _ = self.one_way(from, to, msg);
+        }
+    }
+
     /// Runs `f` as one observed syscall-level operation: opens an
     /// observability span for service `"fs"` around it and closes it
     /// with the outcome (`"ok"` or the errno name). A no-op wrapper
@@ -394,6 +438,16 @@ impl FsCluster {
     pub fn post(&self, from: SiteId, to: SiteId, msg: FsMsg) {
         let at = self.net.now();
         self.queues.borrow_mut().post(at, from, to, msg);
+    }
+
+    /// Snapshot of the per-source post sequence counters. The epoch
+    /// driver records one snapshot per op boundary (mirroring
+    /// [`Net::op_mark`]): a post whose source-seq falls between two
+    /// snapshots was made during that op, which is what lets
+    /// [`FsCluster::absorb_shard_rebased`] shift its stamp by the same
+    /// amount as the op's trace segment.
+    pub fn post_seqs(&self) -> Vec<u64> {
+        self.queues.borrow().seq.clone()
     }
 
     /// Describes the current background-work state: pending-queue length
@@ -561,6 +615,7 @@ impl FsCluster {
             epoch: Cell::new(self.epoch.get()),
             mount_names: RefCell::new(self.mount_names.borrow().clone()),
             parallel_epochs: Cell::new(0),
+            epoch_stamp: Cell::new(self.epoch_stamp.get()),
         }
     }
 
@@ -568,8 +623,30 @@ impl FsCluster {
     /// back, shard posts (stamps intact) append onto the global run
     /// queues, and member sites' sequence counters are adopted. Returns
     /// the shard's network for the caller to merge via
-    /// [`Net::absorb_shards`] in global submission order.
+    /// [`Net::absorb_shards`] in global submission order. Single-segment
+    /// callers (tests, whole-shard work with no interleaving to hide)
+    /// use this directly; the epoch driver uses
+    /// [`FsCluster::absorb_shard_rebased`] so post stamps land on the
+    /// merged clock.
     pub fn absorb_shard(&self, shard: FsCluster) -> Net {
+        self.absorb_shard_rebased(shard, &[], &[])
+    }
+
+    /// [`FsCluster::absorb_shard`] with per-op stamp re-basing.
+    /// `seq_marks[j]` is the [`FsCluster::post_seqs`] snapshot at the
+    /// j-th op boundary (ops + 1 entries) and `shifts[j]` is the shift
+    /// [`Net::absorb_shards`] applies to op j's trace segment: a post
+    /// whose source-seq falls in segment j was made during op j on the
+    /// shard-local clock, so adding the same shift reproduces the stamp
+    /// the sequential engine would have assigned — the merged delivery
+    /// order is then engine-independent. With empty slices, stamps pass
+    /// through untouched.
+    pub fn absorb_shard_rebased(
+        &self,
+        shard: FsCluster,
+        seq_marks: &[Vec<u64>],
+        shifts: &[Ticks],
+    ) -> Net {
         assert_eq!(
             shard.next_shared.get(),
             self.next_shared.get(),
@@ -597,11 +674,18 @@ impl FsCluster {
             g.seq[i] = shard_queues.seq[i];
         }
         for q in shard_queues.shards.iter_mut() {
-            for p in std::mem::take(q) {
+            for mut p in std::mem::take(q) {
                 assert!(
                     members.contains(&p.from.index()),
                     "an epoch shard posted on behalf of a site outside its footprint"
                 );
+                if !shifts.is_empty() {
+                    let f = p.from.index();
+                    let j = (0..shifts.len())
+                        .find(|&j| p.seq >= seq_marks[j][f] && p.seq < seq_marks[j + 1][f])
+                        .expect("a shard post falls outside every op segment");
+                    p.at += shifts[j];
+                }
                 g.shards[p.to.index()].push_back(p);
             }
         }

@@ -182,6 +182,18 @@ impl NameAttrCache {
         );
     }
 
+    /// Message-free, non-counting peek at the cached contents of `dir`,
+    /// whatever version they were read at. The parallel-epoch footprint
+    /// walk uses this to follow dentries across mount points without
+    /// perturbing the hit/miss counters or revalidating against the CSS
+    /// (either would cost messages and diverge the engines' traces). A
+    /// stale entry is safe for that purpose: mount-point stubs are
+    /// immutable, so staleness can change which same-filegroup inode a
+    /// name appears to reach but never whether the step crosses a mount.
+    pub fn peek_dir(&self, gfid: Gfid) -> Option<Arc<Directory>> {
+        self.dirs.get(&gfid).map(|e| Arc::clone(&e.dir))
+    }
+
     /// The remembered file type of a child of `dir`, valid while the
     /// directory entry is (type changes require an ino free + reuse,
     /// which edits the directory and bumps its version vector).

@@ -84,7 +84,9 @@ pub(crate) fn handle_commit(
     if fsc.net().quarantined(ss) {
         return Err(Errno::Esitedown);
     }
-    let now = fsc.net().now();
+    // Inside an epoch batch the mtime stamps at the epoch boundary
+    // (engine-independent); outside one, at the live clock.
+    let now = fsc.stamp_now();
     let (info, pages, inode_only, containers, css, readers, origin) = {
         let mut k = fsc.kernel(ss);
         let css = k.mount.css_of(gfid.fg)?;
@@ -156,9 +158,11 @@ pub(crate) fn handle_commit(
 
     // "As part of the commit operation, the SS sends messages to all the
     // other SS's of that file as well as the CSS" (§2.3.6). The
-    // notifications are one-way messages sent as part of the commit; the
-    // *data* propagation they trigger is background pull work, drained by
-    // `settle`. A notification lost to a partition is recovered at merge.
+    // notifications are one-way messages sent as part of the commit
+    // (buffered to cross the barrier when an epoch batch is in flight —
+    // [`FsCluster::notify`]); the *data* propagation they trigger is
+    // background pull work, drained by `settle`. A notification lost to
+    // a partition is recovered at merge.
     let notify = |source_pages: Option<Vec<usize>>| FsMsg::CommitNotify {
         gfid,
         vv: info.vv.clone(),
@@ -169,18 +173,18 @@ pub(crate) fn handle_commit(
         info: info.clone(),
     };
     if css != ss {
-        let _ = fsc.one_way(ss, css, notify(Some(pages.clone())));
+        fsc.notify(ss, css, notify(Some(pages.clone())));
     }
     for (_, site) in containers {
         if site != ss && site != css {
-            let _ = fsc.one_way(ss, site, notify(Some(pages.clone())));
+            fsc.notify(ss, site, notify(Some(pages.clone())));
         }
     }
     // Readers holding now-stale buffers get invalidations (the simplified
     // page-valid token scheme, §3.2 fn 1).
     for r in readers {
         if r != ss {
-            let _ = fsc.one_way(ss, r, FsMsg::Invalidate { gfid });
+            fsc.notify(ss, r, FsMsg::Invalidate { gfid });
         }
     }
     Ok(FsReply::Committed { info })

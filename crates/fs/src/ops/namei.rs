@@ -590,7 +590,9 @@ pub(crate) fn handle_create_at(
     replicas: Vec<u32>,
 ) -> SysResult<FsReply> {
     fsc.net().charge_cpu_at(at, cost::CONTROL_CPU);
-    let now = fsc.net().now();
+    // Epoch batches stamp at the boundary so creation mtimes are
+    // engine-independent (shard-local clocks diverge mid-epoch).
+    let now = fsc.stamp_now();
     let mut k = fsc.kernel(at);
     let pack = k
         .packs

@@ -7,10 +7,13 @@
 //! observability notes inside a `settle.epoch` span, and trace-audit
 //! invariant 10 re-derives the order from the exported stream.
 
+use locus_fs::ops::fd;
 use locus_fs::proto::FsMsg;
-use locus_fs::FsClusterBuilder;
+use locus_fs::{FsClusterBuilder, ProcFsCtx};
 use locus_net::obs;
-use locus_types::{FilegroupId, Gfid, Ino, SiteId};
+use locus_types::{
+    FileType, FilegroupId, Gfid, Ino, MachineType, OpenMode, Perms, SiteId,
+};
 
 /// The commit-notification message class: what two sites committing to
 /// the same filegroup in one epoch would race to deliver.
@@ -61,6 +64,87 @@ fn barrier_delivers_same_time_posts_by_site_then_seq() {
 
     let report = obs::audit(&events);
     assert!(report.is_clean(), "{}", report.summary());
+}
+
+/// A real commit's notification fan-out — not a hand-posted message —
+/// must cross the epoch barrier. While an epoch batch is in flight
+/// ([`FsCluster::set_epoch_stamp`]), the SS's CommitNotify messages to
+/// the other storage sites and the Invalidate to a remote reader buffer
+/// on the run queues instead of delivering synchronously (a stale reader
+/// may live on any site, outside any shard's footprint); the barrier
+/// then delivers them in stamp order inside a `settle.epoch` span, and
+/// the propagation they trigger still converges the replicas.
+#[test]
+fn commit_fanout_crosses_the_barrier_in_stamp_order() {
+    let fsc = FsClusterBuilder::new()
+        .vax_sites(4)
+        .filegroup("root", &[0, 1, 2])
+        .build();
+    let ctx = |site: u32| -> ProcFsCtx {
+        ProcFsCtx::new(fsc.kernel(SiteId(site)).mount.root().unwrap(), MachineType::Vax)
+    };
+    let write = |site: u32, body: &[u8]| {
+        let c = ctx(site);
+        let fdn =
+            fd::creat(&fsc, SiteId(site), &c, "/f", FileType::Untyped, Perms::FILE_DEFAULT)
+                .unwrap();
+        fd::write(&fsc, SiteId(site), fdn, body).unwrap();
+        fd::close(&fsc, SiteId(site), fdn).unwrap();
+    };
+    let read = |site: u32| -> Vec<u8> {
+        let c = ctx(site);
+        let fdn = fd::open(&fsc, SiteId(site), &c, "/f", OpenMode::Read).unwrap();
+        let data = fd::read(&fsc, SiteId(site), fdn, 64).unwrap();
+        fd::close(&fsc, SiteId(site), fdn).unwrap();
+        data
+    };
+    // Seed /f, quiesce, then park a reader at diskless site 3 so the
+    // overwrite below owes it an invalidation.
+    write(0, b"v1");
+    fsc.settle();
+    let c3 = ctx(3);
+    let reader = fd::open(&fsc, SiteId(3), &c3, "/f", OpenMode::Read).unwrap();
+    assert_eq!(fd::read(&fsc, SiteId(3), reader, 64).unwrap(), b"v1");
+    fsc.net().set_observing(true);
+
+    // Epoch mode on: the overwrite commits, but its fan-out (CommitNotify
+    // to the two replica sites + Invalidate to the reader) must land on
+    // the run queue, not deliver inline.
+    fsc.set_epoch_stamp(Some(fsc.net().now()));
+    let before = fsc.post_seqs();
+    write(0, b"v2 crosses the barrier");
+    let after = fsc.post_seqs();
+    assert!(
+        after[0] >= before[0] + 3,
+        "the commit fan-out must buffer during the epoch (posted {} messages)",
+        after[0] - before[0]
+    );
+    fsc.set_epoch_stamp(None);
+    fsc.settle();
+
+    let events = fsc.net().take_obs_events();
+    let fanout: Vec<String> = events
+        .iter()
+        .filter_map(|e| match e {
+            obs::ObsEvent::Note { key, label, .. } if key == "settle.deliver" => {
+                Some(label.clone())
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        fanout.iter().filter(|l| l.starts_with("S0->")).count() >= 3,
+        "barrier must deliver the buffered fan-out (saw {fanout:?})"
+    );
+    let report = obs::audit(&events);
+    assert!(report.is_clean(), "{}", report.summary());
+
+    // The delivered notifications invalidated the reader and converged
+    // the replicas: everyone now reads v2.
+    fd::close(&fsc, SiteId(3), reader).unwrap();
+    for site in 0..4 {
+        assert_eq!(read(site), b"v2 crosses the barrier", "site {site}");
+    }
 }
 
 #[test]

@@ -1283,7 +1283,13 @@ struct SpanAudit {
 ///     documented total order ([`crate::engine::PostStamp`]). The label
 ///     carries `"{from}->{to}@{post time in µs}"` and the value carries
 ///     the sequence number; a `settle.deliver` outside a `settle.epoch`
-///     span, or with a malformed label, is itself a violation.
+///     span, or with a malformed label, is itself a violation. Two
+///     properties hold across the whole stream, not just within a span:
+///     per-source sequence numbers never repeat (a duplicate `(source,
+///     seq)` means a post was delivered twice), and within one (source,
+///     dest) queue seqs only grow (the run queues are FIFO per ordered
+///     site pair — a shard merge that reordered them would surface
+///     here even if each span looked internally consistent).
 pub fn audit(events: &[ObsEvent]) -> AuditReport {
     let mut report = AuditReport {
         events: events.len() as u64,
@@ -1304,6 +1310,13 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
     let mut quarantined: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     // settle.epoch span id -> stamp of the newest delivery it reported.
     let mut settle_last: BTreeMap<u64, (u64, u32, u64)> = BTreeMap::new();
+    // Every (source, seq) ever delivered: per-source seqs never repeat,
+    // in any span.
+    let mut settle_seen: std::collections::BTreeSet<(u32, u64)> =
+        std::collections::BTreeSet::new();
+    // (source, dest) -> newest seq delivered on that queue (FIFO per
+    // ordered site pair, across spans).
+    let mut settle_fifo: BTreeMap<(u32, u32), u64> = BTreeMap::new();
 
     for ev in events {
         match ev {
@@ -1523,10 +1536,11 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
                         // Label "{from}->{to}@{post µs}", value = seq.
                         let stamp = (|| {
                             let (rest, at_s) = label.rsplit_once('@')?;
-                            let (from_s, _to) = rest.split_once("->")?;
+                            let (from_s, to_s) = rest.split_once("->")?;
                             let from: u32 = from_s.strip_prefix('S')?.parse().ok()?;
+                            let to: u32 = to_s.strip_prefix('S')?.parse().ok()?;
                             let at_us: u64 = at_s.parse().ok()?;
-                            Some((at_us, from, *value))
+                            Some((at_us, from, to, *value))
                         })();
                         if open_spans.get(span).map(String::as_str) != Some("settle.epoch") {
                             report.violations.push(format!(
@@ -1540,7 +1554,8 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
                                 "t={}: malformed settle.deliver label `{label}`",
                                 at
                             )),
-                            Some(stamp) => {
+                            Some((at_us, from, to, seq)) => {
+                                let stamp = (at_us, from, seq);
                                 if let Some(&prev) = settle_last.get(span) {
                                     if stamp <= prev {
                                         report.violations.push(format!(
@@ -1552,6 +1567,24 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
                                     }
                                 }
                                 settle_last.insert(*span, stamp);
+                                if !settle_seen.insert((from, seq)) {
+                                    report.violations.push(format!(
+                                        "t={}: settle.deliver `{label}` repeats source \
+                                         seq {seq} of S{from} (a post delivered twice)",
+                                        at
+                                    ));
+                                }
+                                if let Some(&prev_seq) = settle_fifo.get(&(from, to)) {
+                                    if seq <= prev_seq {
+                                        report.violations.push(format!(
+                                            "t={}: settle.deliver `{label}` seq {seq} \
+                                             breaks FIFO order on the S{from}->S{to} \
+                                             queue (seq {prev_seq} already delivered)",
+                                            at
+                                        ));
+                                    }
+                                }
+                                settle_fifo.insert((from, to), seq);
                             }
                         }
                     }
@@ -2173,6 +2206,60 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("malformed settle.deliver label")));
+    }
+
+    /// Invariant 10 cross-span rejection self-test: one post delivered
+    /// twice — the same (source, seq) in two different, individually
+    /// well-ordered `settle.epoch` spans.
+    #[test]
+    fn audit_rejects_duplicate_source_seqs_across_spans() {
+        let mut evs = settle_span(vec![settle_note(7, 11, "S1->S0@9", 3)]);
+        evs.extend([
+            ObsEvent::SpanOpen {
+                id: 8,
+                parent: 0,
+                service: "fs".into(),
+                op: "settle.epoch".into(),
+                site: SiteId(0),
+                at: Ticks::micros(30),
+            },
+            settle_note(8, 31, "S1->S0@25", 3),
+            ObsEvent::SpanClose {
+                id: 8,
+                outcome: "ok".into(),
+                at: Ticks::micros(40),
+            },
+        ]);
+        let report = audit(&evs);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("repeats source seq")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    /// Invariant 10 per-queue rejection self-test: (post time, source,
+    /// seq) strictly increases — the span-local merge-order check is
+    /// satisfied — yet the S1->S0 queue delivers seq 5 before seq 3, a
+    /// FIFO inversion only the cross-delivery queue check can see.
+    #[test]
+    fn audit_rejects_fifo_inversion_within_a_queue() {
+        let evs = settle_span(vec![
+            settle_note(7, 11, "S1->S0@9", 5),
+            settle_note(7, 12, "S1->S0@10", 3),
+        ]);
+        let report = audit(&evs);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("breaks FIFO order")),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]
