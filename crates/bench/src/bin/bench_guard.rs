@@ -28,9 +28,10 @@
 //! about the host).
 //!
 //! Run with `cargo run -p locus-bench --bin bench_guard --
-//! [--rel-tol=<frac>] [names...]` (default: `e1 e3 e12 e13 e14`). Reads
-//! measured reports from `$BENCH_OUT_DIR` or `target/bench`, baselines
-//! from `$BENCH_BASELINE_DIR` or `crates/bench/baselines`.
+//! [--rel-tol=<frac>] [names...]` (default: `e1 e3 e12 e13 e14 e15
+//! e16`). Reads measured reports from `$BENCH_OUT_DIR` or
+//! `target/bench`, baselines from `$BENCH_BASELINE_DIR` or
+//! `crates/bench/baselines`.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -165,6 +166,8 @@ fn main() -> ExitCode {
             "e12".into(),
             "e13".into(),
             "e14".into(),
+            "e15".into(),
+            "e16".into(),
         ];
     }
     let measured_dir = std::env::var_os("BENCH_OUT_DIR")

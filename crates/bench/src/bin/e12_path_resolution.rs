@@ -197,6 +197,20 @@ fn main() {
         stats.dir_deep_copies, stats.dentry_misses,
         "cache hits must not re-derive directory dentry state"
     );
+    // This bench runs the pull-validation cache only; the lease gauges
+    // document that no coherence leases are taken in this mode (E16
+    // measures the leased warm path). Stdout + trace gauges only — the
+    // pinned report keys predate leases and must not change.
+    cached.fs().publish_lease_gauges();
+    println!(
+        "leases: {} grants, {} lease-served hits, {} recalls ({} acks), {} revokes",
+        stats.lease_grants,
+        stats.lease_hits,
+        stats.lease_recalls,
+        stats.lease_recall_acks,
+        stats.lease_revokes
+    );
+    assert_eq!(stats.lease_grants, 0, "VvCheck-only mode must not grant leases");
 
     report
         .int("resolve4_uncached_msgs", un_resolve)

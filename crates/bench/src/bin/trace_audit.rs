@@ -15,9 +15,10 @@
 //! a battery of corruptions — an orphan reply, an over-budget
 //! circuit-reopen burst, a read interleaved inside a commit's critical
 //! section, a CSS-epoch regression, a commit inside a quarantine window,
-//! and three epoch-merge corruptions (a duplicated post seq, a FIFO
+//! three epoch-merge corruptions (a duplicated post seq, a FIFO
 //! inversion inside one source→dest queue, a delivery outside any
-//! `settle.epoch` span) — and requiring a violation report for each.
+//! `settle.epoch` span), and a name-cache hit served after its lease
+//! was recalled — and requiring a violation report for each.
 //!
 //! Run with `cargo run -p locus-bench --bin trace_audit`. Exits nonzero
 //! (panics) on any violation, so CI can gate on it.
@@ -438,6 +439,17 @@ fn main() {
     // 8. A delivery outside any settle.epoch span.
     let stray = vec![deliver(0, 55, "S1->S0@50", 0)];
     require_rejected("stray-settle-deliver", &stray, "outside a settle.epoch span");
+
+    // 9. A stale lease serve (invariant 11): a name-cache hit locally
+    // served at a site after the CSS recalled that site's lease on the
+    // inode and before any re-grant.
+    let stale_hit = vec![
+        note(10, 1, "lease.grant", "0:7", 3),
+        note(20, 1, "namecache.hit", "0:7", 3),
+        note(30, 1, "lease.recall", "0:7", 0),
+        note(40, 1, "namecache.hit", "0:7", 3),
+    ];
+    require_rejected("stale-lease-hit", &stale_hit, "stale serve");
 
     println!("\ntrace_audit: all clean traces audited, all corruptions rejected");
 }

@@ -86,6 +86,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables CSS-granted coherence leases on the name cache (off by
+    /// default; implies [`Self::name_cache`]). Warm lookups then resolve
+    /// with zero messages until the CSS recalls the lease.
+    pub fn name_leases(mut self, on: bool) -> Self {
+        self.inner = self.inner.name_leases(on);
+        self
+    }
+
     /// Selects the simulation engine explicitly, overriding the
     /// `LOCUS_ENGINE` environment variable (sequential when neither is
     /// given). Both engines produce byte-identical traces, histograms and

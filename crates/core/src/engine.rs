@@ -359,10 +359,20 @@ impl Cluster {
         let fgs = self.path_fgs(path, p.site, p.ctx.cwd)?;
         let mut sites = BTreeSet::from([p.site]);
         for &fg in &fgs {
-            let k = self.fsc.kernel(p.site);
-            let m = k.mount.get(fg).ok()?;
-            sites.extend(m.containers.iter().map(|(_, s)| *s));
-            sites.insert(m.css);
+            let (containers, css) = {
+                let k = self.fsc.kernel(p.site);
+                let m = k.mount.get(fg).ok()?;
+                (m.containers.clone(), m.css)
+            };
+            sites.extend(containers.iter().map(|(_, s)| *s));
+            sites.insert(css);
+            // A mutating op's commit drains the filegroup's lease table at
+            // the CSS: the holders receive their recalls as buffered posts
+            // across the barrier, but the drain itself touches the rows,
+            // so every current holder joins the mutating footprint.
+            if mutates && self.fsc.name_leases_enabled() {
+                sites.extend(self.fsc.kernel(css).lease_holder_sites_for(fg));
+            }
         }
         Some(Footprint {
             sites,

@@ -42,6 +42,7 @@ pub struct FsClusterBuilder {
     retry: RetryPolicy,
     io_policy: IoPolicy,
     name_cache: bool,
+    name_leases: bool,
     engine: Option<EngineKind>,
 }
 
@@ -63,6 +64,7 @@ impl FsClusterBuilder {
             retry: RetryPolicy::default(),
             io_policy: IoPolicy::paper_faithful(),
             name_cache: false,
+            name_leases: false,
             engine: None,
         }
     }
@@ -164,6 +166,16 @@ impl FsClusterBuilder {
     /// [`crate::namecache`]).
     pub fn name_cache(mut self, on: bool) -> Self {
         self.name_cache = on;
+        self
+    }
+
+    /// Enables CSS-granted coherence leases on the name cache (off by
+    /// default; implies [`Self::name_cache`]). Warm lookups are then
+    /// served with zero messages: the CSS records holders on the first
+    /// validation probe and pushes [`crate::proto::FsMsg::LeaseRecall`]
+    /// callbacks from every invalidation path.
+    pub fn name_leases(mut self, on: bool) -> Self {
+        self.name_leases = on;
         self
     }
 
@@ -326,7 +338,8 @@ impl FsClusterBuilder {
         fsc.set_mount_names(mount_names);
         fsc.set_retry_policy(self.retry);
         fsc.set_io_policy(self.io_policy);
-        fsc.set_name_cache(self.name_cache);
+        fsc.set_name_cache(self.name_cache || self.name_leases);
+        fsc.set_name_leases(self.name_leases);
         if let Some(engine) = self.engine {
             fsc.set_engine(engine);
         }

@@ -167,6 +167,7 @@ pub struct FsCluster {
     pub(crate) retry: Cell<RetryPolicy>,
     pub(crate) io_policy: Cell<IoPolicy>,
     pub(crate) name_cache_on: Cell<bool>,
+    pub(crate) name_leases_on: Cell<bool>,
     pub(crate) engine: Cell<EngineKind>,
     pub(crate) epoch: Cell<u64>,
     pub(crate) mount_names: RefCell<BTreeMap<String, FilegroupId>>,
@@ -190,6 +191,7 @@ impl FsCluster {
             retry: Cell::new(RetryPolicy::default()),
             io_policy: Cell::new(IoPolicy::paper_faithful()),
             name_cache_on: Cell::new(false),
+            name_leases_on: Cell::new(false),
             engine: Cell::new(locus_net::engine_from_env().unwrap_or_default()),
             epoch: Cell::new(0),
             mount_names: RefCell::new(BTreeMap::new()),
@@ -302,6 +304,22 @@ impl FsCluster {
         self.name_cache_on.set(on);
     }
 
+    /// Whether CSS-granted coherence leases back the name/attribute
+    /// cache: a leased warm hit is served with zero wire traffic, and
+    /// every invalidation path recalls the holders instead of waiting for
+    /// them to re-validate. Off by default (pull-validation via
+    /// [`FsMsg::VvCheck`] only).
+    pub fn name_leases_enabled(&self) -> bool {
+        self.name_leases_on.get()
+    }
+
+    /// Enables or disables coherence leases (implies nothing about the
+    /// cache knob itself; the builder turns the cache on when leases are
+    /// requested).
+    pub fn set_name_leases(&self, on: bool) {
+        self.name_leases_on.set(on);
+    }
+
     /// Number of sites.
     pub fn site_count(&self) -> usize {
         self.kernels.len()
@@ -345,6 +363,27 @@ impl FsCluster {
             total.merge(&self.kernel(site).cache_full_stats());
         }
         total
+    }
+
+    /// Publishes the cluster-wide lease counters as `lease.*` stats
+    /// gauges and, when a trace is recording, as mirror notes in the
+    /// JSONL export. The keys are plural — `lease.grants`, never
+    /// `lease.grant` — so the mirrors cannot collide with the per-event
+    /// notes the trace auditor's lease invariant consumes.
+    pub fn publish_lease_gauges(&self) {
+        let s = self.cache_stats();
+        for (key, value) in [
+            ("lease.grants", s.lease_grants),
+            ("lease.hits", s.lease_hits),
+            ("lease.recalls", s.lease_recalls),
+            ("lease.recall_acks", s.lease_recall_acks),
+            ("lease.revokes", s.lease_revokes),
+        ] {
+            self.net.set_stat_gauge(key, value);
+            if self.net.observing() {
+                self.net.obs_note(SiteId(0), key, "cluster", value);
+            }
+        }
     }
 
     /// Synchronous remote procedure call (§2.3.2): request message, remote
@@ -401,6 +440,56 @@ impl FsCluster {
             // Delivery failures surface as dropped notifications, exactly
             // like a partition race; recovery handles it.
             let _ = self.one_way(from, to, msg);
+        }
+    }
+
+    /// Recalls every outstanding coherence lease on `gfid` from the lease
+    /// table at `css`, triggered by an invalidation that `trigger`
+    /// noticed (the committing SS, the CSS itself, or a propagation
+    /// puller). A no-op when leases are off or no lease is outstanding —
+    /// the leases-off wire image is untouched.
+    ///
+    /// Outside an epoch batch each recall is a reliable rpc whose reply
+    /// is the acknowledgement, so every holder has dropped its lease
+    /// before the committing operation's `commit.end`; an unreachable
+    /// holder is revoked unilaterally (its own §5.6 cleanup flushes the
+    /// cache when the partition change is processed). Inside an epoch the
+    /// recalls buffer on the site-sharded run queues and cross the
+    /// barrier in [`PostStamp`] order, keeping the parallel engine
+    /// byte-identical; the holders are part of the committing op's
+    /// mutating footprint, so the shard owns their queues.
+    pub(crate) fn recall_leases(&self, trigger: SiteId, css: SiteId, gfid: locus_types::Gfid) {
+        if !self.name_leases_enabled() {
+            return;
+        }
+        let holders = self.kernel(css).take_lease_holders(gfid);
+        if holders.is_empty() {
+            return;
+        }
+        if trigger != css && !self.in_epoch() {
+            // The committing SS synchronously nudges the CSS to break the
+            // leases; one control message models the trigger.
+            let _ = self.net.send(
+                trigger,
+                css,
+                "LEASE break",
+                crate::cost::CONTROL_MSG_BYTES,
+            );
+        }
+        for holder in holders {
+            if holder == css {
+                // Grants never target the CSS itself (a local probe is a
+                // procedure call); a row naming it is vestigial.
+                continue;
+            }
+            if self.in_epoch() {
+                self.post(css, holder, FsMsg::LeaseRecall { gfid });
+            } else {
+                match self.rpc(css, holder, FsMsg::LeaseRecall { gfid }) {
+                    Ok(_) => self.kernel(css).name_cache.count_recall_ack(),
+                    Err(_) => self.kernel(css).name_cache.count_revokes(1),
+                }
+            }
         }
     }
 
@@ -611,6 +700,7 @@ impl FsCluster {
             retry: Cell::new(self.retry.get()),
             io_policy: Cell::new(self.io_policy.get()),
             name_cache_on: Cell::new(self.name_cache_on.get()),
+            name_leases_on: Cell::new(self.name_leases_on.get()),
             engine: Cell::new(self.engine.get()),
             epoch: Cell::new(self.epoch.get()),
             mount_names: RefCell::new(self.mount_names.borrow().clone()),
@@ -762,11 +852,24 @@ impl FsCluster {
                 ops::namei::handle_create_at(self, at, fg, pack_idx, ftype, perms, owner, replicas)
             }
             FsMsg::Invalidate { gfid } => {
-                let mut k = self.kernel(at);
-                k.invalidate_caches_for(gfid);
+                self.kernel(at).invalidate_caches_for(gfid);
+                // An Invalidate landing at the file's CSS breaks any
+                // outstanding leases too (recovery rewrites copies behind
+                // every cache's back).
+                let is_css = self.kernel(at).mount.css_of(gfid.fg) == Ok(at);
+                if is_css {
+                    self.recall_leases(at, at, gfid);
+                }
                 Ok(FsReply::Ok)
             }
-            FsMsg::VvCheck { gfid } => ops::namei::handle_vv_check(self, at, gfid),
+            FsMsg::VvCheck { gfid } => ops::namei::handle_vv_check(self, at, from, gfid),
+            FsMsg::LeaseRecall { gfid } => {
+                self.kernel(at).name_cache.recall_lease(gfid);
+                if self.net.observing() {
+                    self.net.obs_note(at, "lease.recall", &gfid.to_string(), 0);
+                }
+                Ok(FsReply::Ok)
+            }
             FsMsg::CssHandoff { fg, epoch, new_css } => {
                 crate::handoff::handle_css_handoff(self, at, fg, epoch, new_css)
             }

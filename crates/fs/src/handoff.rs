@@ -64,6 +64,9 @@ pub struct HandoffReport {
     pub latest_entries: usize,
     /// Live lock-table entries received from the old CSS.
     pub locks_transferred: usize,
+    /// (file, holder) coherence-lease pairs received from the old CSS
+    /// (always 0 when name leases are disabled).
+    pub leases_transferred: usize,
     /// Sites that received the one-way CSS update.
     pub sites_notified: usize,
     /// Files the new CSS pulled current versions of during the takeover
@@ -107,6 +110,7 @@ fn handoff_inner(fsc: &FsCluster, fg: FilegroupId, new_css: SiteId) -> SysResult
         state_transferred: false,
         latest_entries: 0,
         locks_transferred: 0,
+        leases_transferred: 0,
         sites_notified: 0,
         caught_up: 0,
     };
@@ -160,13 +164,23 @@ fn handoff_inner(fsc: &FsCluster, fg: FilegroupId, new_css: SiteId) -> SysResult
         }
         _ => {}
     }
-    if let Ok(FsReply::HandoffState { latest, locks }) = reply {
+    if let Ok(FsReply::HandoffState {
+        latest,
+        locks,
+        leases,
+    }) = reply
+    {
         report.state_transferred = true;
         report.latest_entries = latest.len();
         report.locks_transferred = locks.len();
+        report.leases_transferred = leases.iter().map(|(_, h)| h.len()).sum();
         let mut behind = Vec::new();
         {
             let mut k = fsc.kernel(new_css);
+            // The lease table moves with the role under the same epoch:
+            // holders keep serving warm hits across the handoff, and the
+            // next commit's recall fan-out leaves from the new CSS.
+            k.adopt_leases(leases);
             for (gfid, vv) in latest {
                 k.note_latest(gfid, &vv);
                 let stale = match k.local_info(gfid) {
@@ -279,7 +293,13 @@ pub(crate) fn handle_css_handoff(
         .map(|(g, cs)| (g, cs.clone()))
         .collect();
     locks.sort_by_key(|(g, _)| *g);
-    Ok(FsReply::HandoffState { latest, locks })
+    let mut leases = k.snapshot_leases_for(fg);
+    leases.sort_by_key(|(g, _)| *g);
+    Ok(FsReply::HandoffState {
+        latest,
+        locks,
+        leases,
+    })
 }
 
 /// CSS-update handler at every other site: adopt if newer. Warm name
@@ -294,7 +314,14 @@ pub(crate) fn handle_css_update(
 ) -> SysResult<FsReply> {
     fsc.net().charge_cpu_at(at, cost::CONTROL_CPU);
     let now = fsc.net().now();
-    fsc.with_kernel(at, |k| k.mount.adopt_css(fg, new_css, epoch, now));
+    fsc.with_kernel(at, |k| {
+        k.mount.adopt_css(fg, new_css, epoch, now);
+        // An ex-CSS hearing the successor's claim releases its (already
+        // snapshotted and shipped) lease table: the successor owns it now.
+        if new_css != at {
+            k.clear_leases_for(fg);
+        }
+    });
     Ok(FsReply::Ok)
 }
 
@@ -467,9 +494,30 @@ pub fn probation_probe(
 /// window, so the §5.6 failure-handling rules apply to the rejoining
 /// site's own resources. Any modification session still open here lost
 /// its writer mid-flight (commits were refused throughout the window);
-/// discard them before the site serves traffic again.
+/// discard them before the site serves traffic again. Caches get the
+/// same treatment: every coherence lease this site held may have been
+/// revoked at the CSS while recalls could not reach it, so the marks are
+/// dropped (entries revalidate through the normal `VvCheck` path), and
+/// the page-valid tags are cleared — pages fetched before the window
+/// must not look current at the first post-readmission open. The
+/// surviving sites' lease tables drop this site symmetrically.
 fn readmit(fsc: &FsCluster, site: SiteId) -> bool {
     crate::ops::cleanup::sweep_local_sessions(fsc, site);
+    fsc.with_kernel(site, |k| {
+        k.name_cache.revoke_all_leases();
+        k.name_cache.clear_page_tags();
+    });
+    if fsc.name_leases_enabled() {
+        for s in fsc.sites() {
+            if s == site {
+                continue;
+            }
+            let dropped = fsc.kernel(s).purge_lease_holder(site);
+            if dropped > 0 {
+                fsc.kernel(s).name_cache.count_revokes(dropped);
+            }
+        }
+    }
     true
 }
 

@@ -1,7 +1,7 @@
 //! The per-site filesystem kernel: packs, incore inodes, buffer cache,
 //! open-file table, shadow sessions and the propagation queue.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use locus_storage::{BufferCache, Pack, ShadowSession};
 use locus_types::{Errno, FilegroupId, Gfid, MachineType, OpenMode, PackId, SiteId, SysResult};
@@ -165,6 +165,12 @@ pub struct FsKernel {
     pub(crate) css_served: BTreeMap<FilegroupId, u64>,
     /// Cumulative CSS-role claims this site performed via live handoff.
     pub css_claims: u64,
+    /// CSS-role coherence-lease table: which sites hold a name/attribute
+    /// lease on each file this site synchronizes (name-lease mode). Every
+    /// invalidation path drains the file's row and recalls the holders;
+    /// `css_handoff` snapshots the filegroup's rows and ships them to the
+    /// successor under the same epoch numbering as [`FsKernel::latest`].
+    pub(crate) lease_holders: BTreeMap<Gfid, BTreeSet<SiteId>>,
 }
 
 impl FsKernel {
@@ -191,7 +197,89 @@ impl FsKernel {
             write_behind: HashMap::new(),
             css_served: BTreeMap::new(),
             css_claims: 0,
+            lease_holders: BTreeMap::new(),
         }
+    }
+
+    /// Records `holder` as holding a coherence lease on `gfid` (CSS
+    /// role). Re-granting to a site already in the row is a no-op.
+    pub fn record_lease(&mut self, gfid: Gfid, holder: SiteId) {
+        self.lease_holders.entry(gfid).or_default().insert(holder);
+    }
+
+    /// Drains and returns every lease holder of `gfid`, in site order —
+    /// the recall fan-out set of one invalidation.
+    pub fn take_lease_holders(&mut self, gfid: Gfid) -> Vec<SiteId> {
+        self.lease_holders
+            .remove(&gfid)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether any lease is outstanding on `gfid`.
+    pub fn has_lease_holders(&self, gfid: Gfid) -> bool {
+        self.lease_holders
+            .get(&gfid)
+            .is_some_and(|s| !s.is_empty())
+    }
+
+    /// Every site holding a lease on any file of `fg`, in site order —
+    /// the committing filegroup's recall fan-out joins the mutating
+    /// footprint through this set.
+    pub fn lease_holder_sites_for(&self, fg: FilegroupId) -> BTreeSet<SiteId> {
+        self.lease_holders
+            .iter()
+            .filter(|(g, _)| g.fg == fg)
+            .flat_map(|(_, s)| s.iter().copied())
+            .collect()
+    }
+
+    /// Snapshots the whole lease table of `fg` for transfer to a
+    /// successor CSS, sorted by file then site (deterministic wire
+    /// image). Non-destructive so a re-delivered handoff RPC returns the
+    /// same snapshot; the ex-CSS clears its rows when it adopts the
+    /// successor's [`crate::proto::FsMsg::CssUpdate`]
+    /// ([`FsKernel::clear_leases_for`]).
+    pub fn snapshot_leases_for(&self, fg: FilegroupId) -> Vec<(Gfid, Vec<SiteId>)> {
+        self.lease_holders
+            .iter()
+            .filter(|(g, _)| g.fg == fg)
+            .map(|(g, holders)| (*g, holders.iter().copied().collect()))
+            .collect()
+    }
+
+    /// Drops every lease row of `fg` — the ex-CSS's side of a completed
+    /// handoff (the successor owns the table now).
+    pub fn clear_leases_for(&mut self, fg: FilegroupId) {
+        self.lease_holders.retain(|g, _| g.fg != fg);
+    }
+
+    /// Adopts a drained lease table from a predecessor CSS.
+    pub fn adopt_leases(&mut self, leases: Vec<(Gfid, Vec<SiteId>)>) {
+        for (gfid, holders) in leases {
+            let row = self.lease_holders.entry(gfid).or_default();
+            row.extend(holders);
+        }
+    }
+
+    /// Removes `site` from every lease row — the unilateral revoke of
+    /// quarantine, readmission and §5.6 cleanup. Returns how many leases
+    /// were dropped.
+    pub fn purge_lease_holder(&mut self, site: SiteId) -> u64 {
+        let mut dropped = 0;
+        self.lease_holders.retain(|_, holders| {
+            if holders.remove(&site) {
+                dropped += 1;
+            }
+            !holders.is_empty()
+        });
+        dropped
+    }
+
+    /// Number of (file, holder) lease pairs outstanding (tests assert
+    /// transfer and revocation).
+    pub fn lease_table_size(&self) -> usize {
+        self.lease_holders.values().map(BTreeSet::len).sum()
     }
 
     /// Counts one synchronization request served by this site in its CSS

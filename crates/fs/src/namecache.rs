@@ -28,7 +28,7 @@
 //! flows only where a validated entry short-circuits a protocol exchange
 //! — and replaying a seed remains byte-identical.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use locus_storage::CacheStats;
@@ -74,12 +74,23 @@ struct CachedAttr {
 pub struct NameAttrCache {
     dirs: HashMap<Gfid, CachedDir>,
     attrs: HashMap<Gfid, CachedAttr>,
+    /// Files this site holds a CSS-granted coherence lease on: cached
+    /// entries for these gfids may be served without a `VvCheck` probe
+    /// until a `LeaseRecall` (or any invalidation) drops the mark. A mark
+    /// never outlives the entries it covers — every invalidation path
+    /// below clears it.
+    leases: BTreeSet<Gfid>,
     dentry_hits: u64,
     dentry_misses: u64,
     attr_hits: u64,
     attr_misses: u64,
     invalidations: u64,
     dir_deep_copies: u64,
+    lease_grants: u64,
+    lease_hits: u64,
+    lease_recalls: u64,
+    lease_recall_acks: u64,
+    lease_revokes: u64,
 }
 
 impl NameAttrCache {
@@ -211,9 +222,89 @@ impl NameAttrCache {
         }
     }
 
+    /// Marks `gfid` as held under a CSS-granted coherence lease (the
+    /// grant rode back on a `VvKnown` reply).
+    pub fn grant_lease(&mut self, gfid: Gfid) {
+        self.leases.insert(gfid);
+        self.lease_grants += 1;
+    }
+
+    /// Whether this site holds a live lease on `gfid`.
+    pub fn lease_held(&self, gfid: Gfid) -> bool {
+        self.leases.contains(&gfid)
+    }
+
+    /// Serves the cached attributes under a live lease — no version check
+    /// and no wire traffic; the CSS promised to recall before the entry
+    /// could go stale. `None` when no lease or no entry is held.
+    pub fn attr_under_lease(&mut self, gfid: Gfid) -> Option<InodeInfo> {
+        if !self.leases.contains(&gfid) {
+            return None;
+        }
+        match self.attrs.get(&gfid) {
+            Some(e) => {
+                self.attr_hits += 1;
+                self.lease_hits += 1;
+                Some(e.info.clone())
+            }
+            None => None,
+        }
+    }
+
+    /// Serves the cached directory contents under a live lease (see
+    /// [`NameAttrCache::attr_under_lease`]).
+    pub fn dir_under_lease(&mut self, gfid: Gfid) -> Option<(Arc<Directory>, InodeInfo)> {
+        if !self.leases.contains(&gfid) {
+            return None;
+        }
+        match self.dirs.get(&gfid) {
+            Some(e) => {
+                self.dentry_hits += 1;
+                self.lease_hits += 1;
+                Some((Arc::clone(&e.dir), e.info.clone()))
+            }
+            None => None,
+        }
+    }
+
+    /// Processes an inbound `LeaseRecall`: drops the lease mark and every
+    /// entry it covered. Counted whether or not a lease was actually held
+    /// — a duplicated recall still crossed the wire.
+    pub fn recall_lease(&mut self, gfid: Gfid) {
+        self.leases.remove(&gfid);
+        self.invalidate(gfid);
+        self.lease_recalls += 1;
+    }
+
+    /// Counts one recall acknowledgement received (CSS side).
+    pub fn count_recall_ack(&mut self) {
+        self.lease_recall_acks += 1;
+    }
+
+    /// Counts `n` leases revoked unilaterally — dropped from a lease
+    /// table without a recall round trip (unreachable holder, §5.6
+    /// cleanup, quarantine, readmission).
+    pub fn count_revokes(&mut self, n: u64) {
+        self.lease_revokes += n;
+    }
+
+    /// Unilaterally drops every lease mark, counting each as a revoke,
+    /// without touching the cached entries — readmission calls this so
+    /// the ordinary `VvCheck` path revalidates (and possibly re-leases)
+    /// what survived the quarantine window. Returns how many marks died.
+    pub fn revoke_all_leases(&mut self) -> u64 {
+        let n = self.leases.len() as u64;
+        self.leases.clear();
+        self.lease_revokes += n;
+        n
+    }
+
     /// Drops every entry for `gfid`: local commit, inbound notification,
-    /// propagation, and explicit invalidation all land here.
+    /// propagation, and explicit invalidation all land here. Any lease
+    /// mark dies with the entries — a lease never vouches for state the
+    /// holder no longer caches.
     pub fn invalidate(&mut self, gfid: Gfid) {
+        self.leases.remove(&gfid);
         self.invalidations += u64::from(self.dirs.remove(&gfid).is_some());
         self.invalidations += u64::from(self.attrs.remove(&gfid).is_some());
     }
@@ -225,12 +316,30 @@ impl NameAttrCache {
         self.invalidations += (self.dirs.len() + self.attrs.len()) as u64;
         self.dirs.clear();
         self.attrs.clear();
+        self.leases.clear();
+    }
+
+    /// Drops every attribute entry's page-valid tag without touching the
+    /// attribute copies themselves. Readmission from probation calls this
+    /// alongside [`NameAttrCache::flush`]-style dentry clearing: pages
+    /// fetched before the quarantine window must not look current at the
+    /// first post-readmission open, even though the attribute copy is
+    /// revalidated by the normal VvCheck path.
+    pub fn clear_page_tags(&mut self) {
+        for e in self.attrs.values_mut() {
+            e.pages_vv = None;
+        }
     }
 
     /// Number of cached entries, directories plus attributes (tests
     /// assert flushes).
     pub fn entries(&self) -> usize {
         self.dirs.len() + self.attrs.len()
+    }
+
+    /// Number of live lease marks (tests assert revocation).
+    pub fn leases_held(&self) -> usize {
+        self.leases.len()
     }
 
     /// Folds the counters into a merged [`CacheStats`].
@@ -241,6 +350,11 @@ impl NameAttrCache {
         s.attr_misses += self.attr_misses;
         s.name_invalidations += self.invalidations;
         s.dir_deep_copies += self.dir_deep_copies;
+        s.lease_grants += self.lease_grants;
+        s.lease_hits += self.lease_hits;
+        s.lease_recalls += self.lease_recalls;
+        s.lease_recall_acks += self.lease_recall_acks;
+        s.lease_revokes += self.lease_revokes;
     }
 }
 
@@ -318,6 +432,54 @@ mod tests {
         assert!(
             !c.pages_fresh(f, &info(vv(2))),
             "pages were fetched under v1; v2 open must invalidate"
+        );
+    }
+
+    #[test]
+    fn lease_serves_without_version_and_dies_on_recall() {
+        let mut c = NameAttrCache::new();
+        let f = gfid(3);
+        c.insert_attr(f, info(vv(1)));
+        assert!(c.attr_under_lease(f).is_none(), "no lease, no short-circuit");
+        c.grant_lease(f);
+        assert!(c.lease_held(f));
+        assert!(c.attr_under_lease(f).is_some(), "leased entry served");
+        c.insert_dir(f, info(vv(1)), Arc::new(Directory::new()));
+        assert!(c.dir_under_lease(f).is_some(), "leased dir served");
+        c.recall_lease(f);
+        assert!(!c.lease_held(f));
+        assert!(c.attr_under_lease(f).is_none(), "recall dropped the entry");
+        let mut s = CacheStats::default();
+        c.merge_stats(&mut s);
+        assert_eq!(s.lease_grants, 1);
+        assert_eq!(s.lease_hits, 2);
+        assert_eq!(s.lease_recalls, 1);
+    }
+
+    #[test]
+    fn invalidation_and_flush_drop_lease_marks() {
+        let mut c = NameAttrCache::new();
+        c.insert_attr(gfid(1), info(vv(1)));
+        c.grant_lease(gfid(1));
+        c.invalidate(gfid(1));
+        assert!(!c.lease_held(gfid(1)), "invalidate kills the mark");
+        c.insert_attr(gfid(2), info(vv(1)));
+        c.grant_lease(gfid(2));
+        c.flush();
+        assert!(!c.lease_held(gfid(2)), "flush kills every mark");
+        assert_eq!(c.leases_held(), 0);
+    }
+
+    #[test]
+    fn clear_page_tags_keeps_attrs_but_invalidates_pages() {
+        let mut c = NameAttrCache::new();
+        let f = gfid(4);
+        assert!(!c.pages_fresh(f, &info(vv(1))), "first open tags");
+        assert!(c.pages_fresh(f, &info(vv(1))), "tagged pages fresh");
+        c.clear_page_tags();
+        assert!(
+            !c.pages_fresh(f, &info(vv(1))),
+            "cleared tag must force a refetch even at the same version"
         );
     }
 

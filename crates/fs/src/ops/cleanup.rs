@@ -54,7 +54,24 @@ pub fn cleanup_site(fsc: &FsCluster, site: SiteId, alive: &BTreeSet<SiteId>) -> 
 
     // Every name-cache entry was validated against the old partition's
     // CSS; flush conservatively before touching anything else (§5.6).
+    // The flush also drops any coherence-lease marks this site held.
     fsc.with_kernel(site, |k| k.name_cache.flush());
+
+    // CSS role: leases granted to departed sites are unilaterally
+    // revoked — no recall can reach them, and their own §5.6 cleanup
+    // flushes their caches (the flush above is this site's arm of that).
+    {
+        let departed: Vec<SiteId> =
+            fsc.sites().filter(|s| !alive.contains(s)).collect();
+        let mut k = fsc.kernel(site);
+        let mut dropped = 0;
+        for s in departed {
+            dropped += k.purge_lease_holder(s);
+        }
+        if dropped > 0 {
+            k.name_cache.count_revokes(dropped);
+        }
+    }
 
     // ---- SS and CSS roles: local resources in use remotely ----------
     let mut sessions_to_abort: Vec<(SiteId, Gfid)> = Vec::new();

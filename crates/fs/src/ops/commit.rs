@@ -87,7 +87,7 @@ pub(crate) fn handle_commit(
     // Inside an epoch batch the mtime stamps at the epoch boundary
     // (engine-independent); outside one, at the live clock.
     let now = fsc.stamp_now();
-    let (info, pages, inode_only, containers, css, readers, origin) = {
+    let (info, pages, inode_only, containers, css, readers, origin, vv_total) = {
         let mut k = fsc.kernel(ss);
         let css = k.mount.css_of(gfid.fg)?;
         let containers = k.mount.get(gfid.fg)?.containers.clone();
@@ -134,13 +134,16 @@ pub(crate) fn handle_commit(
                 .obs_note(ss, "commit.begin", &gfid.to_string(), vv_total);
         }
         let committed = sess.commit(pack, vv);
-        if fsc.net().observing() {
-            // The bracket closes whether the install succeeded or was
-            // rejected atomically — either way the critical section ended.
-            fsc.net()
-                .obs_note(ss, "commit.end", &gfid.to_string(), vv_total);
+        if committed.is_err() {
+            if fsc.net().observing() {
+                // The bracket closes whether the install succeeded or was
+                // rejected atomically — either way the critical section
+                // ended.
+                fsc.net()
+                    .obs_note(ss, "commit.end", &gfid.to_string(), vv_total);
+            }
+            committed?;
         }
-        committed?;
         let pack_id = pack.id();
         let info = InodeInfo::from(pack.inode(gfid.ino).expect("just committed"));
         let io_cost = pack.take_io_cost();
@@ -153,8 +156,19 @@ pub(crate) fn handle_commit(
             .unwrap_or_default();
         drop(k);
         fsc.net().charge_cpu_at(ss, io_cost);
-        (info, pages, inode_only, containers, css, readers, origin)
+        (info, pages, inode_only, containers, css, readers, origin, vv_total)
     };
+
+    // Outstanding name leases are broken inside the commit critical
+    // section: every holder has acknowledged its recall (or been revoked
+    // as unreachable) before `commit.end` closes the bracket, so no site
+    // serves the superseded version from its cache afterwards.
+    fsc.recall_leases(ss, css, gfid);
+    if fsc.net().observing() {
+        // The bracket closes only once the recalls are in — see above.
+        fsc.net()
+            .obs_note(ss, "commit.end", &gfid.to_string(), vv_total);
+    }
 
     // "As part of the commit operation, the SS sends messages to all the
     // other SS's of that file as well as the CSS" (§2.3.6). The
@@ -219,9 +233,17 @@ pub(crate) fn handle_commit_notify(
     fsc.net().charge_cpu_at(at, cost::CONTROL_CPU);
     let mut k = fsc.kernel(at);
     k.note_latest(gfid, &vv);
+    // The CSS learning of a version it did not commit itself (a create, or
+    // a commit raced with a handoff) breaks any leases it granted on the
+    // file — holders must revalidate against the new version.
+    let at_css = k.mount.css_of(gfid.fg) == Ok(at);
     let mut enqueue = false;
     {
         let Some(pack) = k.pack_of(gfid.fg) else {
+            drop(k);
+            if at_css {
+                fsc.recall_leases(at, at, gfid);
+            }
             return Ok(FsReply::Ok); // not a container site
         };
         let my_origin = pack.origin();
@@ -288,7 +310,21 @@ pub(crate) fn handle_commit_notify(
             pages,
         });
     }
+    drop(k);
+    if at_css {
+        fsc.recall_leases(at, at, gfid);
+    }
     Ok(FsReply::Ok)
+}
+
+/// Breaks the leases on `gfid` when `site` holds the CSS role — the pull
+/// paths install versions directly into the pack, behind every granted
+/// cache's back.
+fn recall_if_css(fsc: &FsCluster, site: SiteId, gfid: Gfid) {
+    let is_css = fsc.kernel(site).mount.css_of(gfid.fg) == Ok(site);
+    if is_css {
+        fsc.recall_leases(site, site, gfid);
+    }
 }
 
 /// Propagation-source handler: an internal open of the latest version for
@@ -354,6 +390,8 @@ pub(crate) fn propagate_pull(fsc: &FsCluster, site: SiteId, req: &PropReq) -> Sy
             pack.install_inode(gfid.ino, info.to_disk_inode(false));
         }
         k.name_cache.invalidate(gfid);
+        drop(k);
+        recall_if_css(fsc, site, gfid);
         return Ok(());
     }
 
@@ -381,6 +419,7 @@ pub(crate) fn propagate_pull(fsc: &FsCluster, site: SiteId, req: &PropReq) -> Sy
                 k.name_cache.invalidate(gfid);
                 k.note_latest(gfid, &info.vv);
             });
+            recall_if_css(fsc, site, gfid);
             return Ok(());
         }
         ShadowSession::begin(pack, gfid.ino)?
@@ -478,5 +517,7 @@ pub(crate) fn propagate_pull(fsc: &FsCluster, site: SiteId, req: &PropReq) -> Sy
         .invalidate_file(io::net_cache_pack(gfid.fg), gfid.ino);
     k.name_cache.invalidate(gfid);
     k.note_latest(gfid, &info.vv);
+    drop(k);
+    recall_if_css(fsc, site, gfid);
     Ok(())
 }

@@ -310,6 +310,16 @@ pub enum FsMsg {
         /// Target file.
         gfid: Gfid,
     },
+    /// CSS → lease holder: invalidation callback revoking a coherence
+    /// lease granted on an earlier validation. The holder drops its
+    /// leased name/attribute entries for the file and acknowledges; the
+    /// reply is the ack the committing operation waits for. Dropping an
+    /// already-dropped lease is harmless, hence idempotent — a recall
+    /// whose ack was lost is simply re-issued.
+    LeaseRecall {
+        /// The file whose lease is being recalled.
+        gfid: Gfid,
+    },
     /// New CSS → old CSS: epoch-numbered synchronization-role transfer.
     /// The old CSS stops answering as CSS (racing requests get
     /// [`FsReply::NotCss`] redirects), records the new assignment, and
@@ -436,6 +446,12 @@ pub enum FsReply {
     VvKnown {
         /// Latest known version vector.
         vv: VersionVector,
+        /// Whether the CSS granted the requester a coherence lease on the
+        /// file: until a [`FsMsg::LeaseRecall`] arrives, the requester may
+        /// serve its cached entries without re-validating. Always `false`
+        /// when leases are disabled, so the VvCheck-only protocol is
+        /// byte-identical to before the flag existed.
+        lease: bool,
     },
     /// Reply to [`FsMsg::CssHandoff`]: the old CSS's drained
     /// synchronization state for the filegroup.
@@ -444,6 +460,11 @@ pub enum FsReply {
         latest: Vec<(Gfid, VersionVector)>,
         /// Live open/lock state, per file (§2.3.3 CSS state).
         locks: Vec<(Gfid, crate::incore::CssState)>,
+        /// Outstanding coherence-lease holders, per file — drained from
+        /// the old CSS's lease table under the same epoch numbering as
+        /// `latest`, so the successor can keep recalling them. Empty when
+        /// leases are disabled.
+        leases: Vec<(Gfid, Vec<SiteId>)>,
     },
     /// "I am no longer the CSS for this filegroup": a typed redirect
     /// carrying the newest assignment the answering site knows. The
@@ -483,6 +504,7 @@ impl FsMsg {
             FsMsg::CreateAt { .. } => "CREATE req",
             FsMsg::Invalidate { .. } => "INVALIDATE",
             FsMsg::VvCheck { .. } => "VV check",
+            FsMsg::LeaseRecall { .. } => "LEASE recall",
             FsMsg::CssHandoff { .. } => "CSS handoff",
             FsMsg::CssUpdate { .. } => "CSS update",
         }
@@ -511,6 +533,7 @@ impl FsMsg {
             FsMsg::CreateAt { .. } => "CREATE resp",
             FsMsg::Invalidate { .. } => "INVALIDATE ack",
             FsMsg::VvCheck { .. } => "VV resp",
+            FsMsg::LeaseRecall { .. } => "LEASE recall ack",
             FsMsg::CssHandoff { .. } => "CSS handoff resp",
             FsMsg::CssUpdate { .. } => "CSS update ack",
         }
@@ -545,6 +568,7 @@ impl FsMsg {
                 | FsMsg::AbortChanges { .. }
                 | FsMsg::Invalidate { .. }
                 | FsMsg::VvCheck { .. }
+                | FsMsg::LeaseRecall { .. }
                 | FsMsg::CssHandoff { .. }
                 | FsMsg::CssUpdate { .. }
         )
@@ -583,9 +607,11 @@ impl FsReply {
             FsReply::Pages { pages } => {
                 crate::cost::CONTROL_MSG_BYTES + pages.iter().map(Vec::len).sum::<usize>()
             }
-            FsReply::HandoffState { latest, locks } => {
-                crate::cost::CONTROL_MSG_BYTES + 32 * (latest.len() + locks.len())
-            }
+            FsReply::HandoffState {
+                latest,
+                locks,
+                leases,
+            } => crate::cost::CONTROL_MSG_BYTES + 32 * (latest.len() + locks.len() + leases.len()),
             FsReply::Opened { .. }
             | FsReply::Committed { .. }
             | FsReply::PullInfo { .. }

@@ -1290,6 +1290,13 @@ struct SpanAudit {
 ///     dest) queue seqs only grow (the run queues are FIFO per ordered
 ///     site pair — a shard merge that reordered them would surface
 ///     here even if each span looked internally consistent).
+/// 11. **Lease coherence** — after a `lease.recall` note targeting a
+///     (site, file) pair, no `namecache.hit` note is emitted at that site
+///     for that file until a `lease.grant` note re-arms it: a recalled
+///     holder must never keep serving the cached entry. The lease notes
+///     and the hit notes share the file-id label, so the check is a plain
+///     set membership; the plural gauge mirrors (`lease.recalls` etc.)
+///     use different keys and never land here.
 pub fn audit(events: &[ObsEvent]) -> AuditReport {
     let mut report = AuditReport {
         events: events.len() as u64,
@@ -1317,6 +1324,10 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
     // (source, dest) -> newest seq delivered on that queue (FIFO per
     // ordered site pair, across spans).
     let mut settle_fifo: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    // (site, file label) pairs whose coherence lease was recalled and not
+    // re-granted: a namecache.hit there is a stale serve.
+    let mut lease_recalled: std::collections::BTreeSet<(u32, String)> =
+        std::collections::BTreeSet::new();
 
     for ev in events {
         match ev {
@@ -1587,6 +1598,20 @@ pub fn audit(events: &[ObsEvent]) -> AuditReport {
                                 settle_fifo.insert((from, to), seq);
                             }
                         }
+                    }
+                    "lease.recall" => {
+                        lease_recalled.insert((site.0, label.clone()));
+                    }
+                    "lease.grant" => {
+                        lease_recalled.remove(&(site.0, label.clone()));
+                    }
+                    "namecache.hit" if lease_recalled.contains(&(site.0, label.clone())) => {
+                        report.violations.push(format!(
+                            "t={}: namecache.hit for `{label}` at {site} after \
+                             its lease was recalled and before any re-grant \
+                             (stale serve)",
+                            at
+                        ));
                     }
                     "read.page" => {
                         if let Some(&committing) = open_commits.get(label) {
@@ -1918,6 +1943,47 @@ mod tests {
             note(4, 2, "commit.end", "0:5", 1),
         ];
         assert!(audit(&readmitted).is_clean());
+    }
+
+    /// Invariant 11: a locally-served `namecache.hit` after the lease on
+    /// that (site, inode) was recalled — and before any re-grant — is a
+    /// stale serve the coherence protocol must never allow.
+    #[test]
+    fn audit_rejects_hit_after_lease_recall() {
+        // Hits before the recall, at other sites, or for other inodes
+        // are all fine; so is a hit after a fresh grant.
+        let ok = vec![
+            note(1, 1, "lease.grant", "0:7", 3),
+            note(2, 1, "namecache.hit", "0:7", 3),
+            note(3, 1, "lease.recall", "0:7", 0),
+            note(4, 2, "namecache.hit", "0:7", 3), // other site
+            note(5, 1, "namecache.hit", "0:9", 1), // other inode
+            note(6, 1, "lease.grant", "0:7", 4),
+            note(7, 1, "namecache.hit", "0:7", 4), // re-granted
+        ];
+        assert!(audit(&ok).is_clean(), "{:?}", audit(&ok).violations);
+        let stale = vec![
+            note(1, 1, "lease.grant", "0:7", 3),
+            note(2, 1, "lease.recall", "0:7", 0),
+            note(3, 1, "namecache.hit", "0:7", 3),
+        ];
+        let report = audit(&stale);
+        assert!(!report.is_clean());
+        assert!(
+            report.violations[0].contains("stale serve"),
+            "got: {:?}",
+            report.violations
+        );
+        // The plural gauge keys exported by the bench harness never arm
+        // or trip the invariant.
+        let gauges = vec![
+            note(1, 1, "lease.recall", "0:7", 0),
+            note(2, 0, "lease.grants", "cluster", 5),
+            note(3, 0, "lease.recalls", "cluster", 1),
+            note(4, 1, "lease.grant", "0:7", 4),
+            note(5, 1, "namecache.hit", "0:7", 4),
+        ];
+        assert!(audit(&gauges).is_clean(), "{:?}", audit(&gauges).violations);
     }
 
     #[test]

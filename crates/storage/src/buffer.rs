@@ -42,6 +42,18 @@ pub struct CacheStats {
     /// fill. A validated hit serves the parsed contents by shared
     /// pointer, so this stays proportional to misses, not hits.
     pub dir_deep_copies: u64,
+    /// Coherence leases granted by a CSS (name-lease mode).
+    pub lease_grants: u64,
+    /// Name/attribute lookups served locally under a live lease, with no
+    /// validation probe and zero wire traffic.
+    pub lease_hits: u64,
+    /// Inbound `LeaseRecall` callbacks processed by holders.
+    pub lease_recalls: u64,
+    /// Recall acknowledgements received by the recalling CSS.
+    pub lease_recall_acks: u64,
+    /// Leases revoked without a recall round trip (unreachable holder,
+    /// §5.6 cleanup, quarantine or readmission).
+    pub lease_revokes: u64,
 }
 
 impl CacheStats {
@@ -87,6 +99,11 @@ impl CacheStats {
         self.attr_misses += other.attr_misses;
         self.name_invalidations += other.name_invalidations;
         self.dir_deep_copies += other.dir_deep_copies;
+        self.lease_grants += other.lease_grants;
+        self.lease_hits += other.lease_hits;
+        self.lease_recalls += other.lease_recalls;
+        self.lease_recall_acks += other.lease_recall_acks;
+        self.lease_revokes += other.lease_revokes;
     }
 }
 
